@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the library itself (wall-clock, not simulated).
+
+Unlike the paper-table benches — which report *simulated* time — these
+measure the Python implementation's real throughput: graph
+construction, partitioning, one dense pull per engine, and UDF
+instrumentation.  Useful for tracking performance regressions of the
+reproduction code itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.bfs import bottom_up_signal
+from repro.analysis import instrument_signal
+from repro.engine import GeminiEngine, SympleGraphEngine, SympleOptions
+from repro.graph import rmat, to_undirected
+from repro.partition import OutgoingEdgeCut
+
+SCALE = 10
+MACHINES = 8
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=SCALE, edge_factor=16, seed=7))
+
+
+@pytest.fixture(scope="module")
+def partition(graph):
+    return OutgoingEdgeCut().partition(graph, MACHINES)
+
+
+def _pull_once(engine_cls, partition, **kwargs):
+    import numpy as np
+
+    engine = engine_cls(partition, **kwargs)
+    s = engine.new_state()
+    s.add_array("frontier", bool, True)
+    s.add_array("parent", np.int64, -1)
+
+    def slot(v, value, st):
+        if st.parent[v] < 0:
+            st.parent[v] = value
+            return True
+        return False
+
+    active = partition.graph.in_degrees() > 0
+    engine.pull(bottom_up_signal, slot, s, active, sync_bytes=0)
+    return engine.counters.edges_traversed
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_graph_generation(benchmark):
+    graph = benchmark(lambda: rmat(scale=SCALE, edge_factor=16, seed=7))
+    assert graph.num_vertices == 1 << SCALE
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_partitioning(benchmark, graph):
+    part = benchmark(lambda: OutgoingEdgeCut().partition(graph, MACHINES))
+    assert part.num_machines == MACHINES
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_gemini_pull(benchmark, partition):
+    edges = benchmark.pedantic(
+        lambda: _pull_once(GeminiEngine, partition), rounds=3, iterations=1
+    )
+    assert edges > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_symple_pull(benchmark, partition):
+    edges = benchmark.pedantic(
+        lambda: _pull_once(
+            SympleGraphEngine,
+            partition,
+            options=SympleOptions(degree_threshold=0),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert edges > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_instrumentation(benchmark):
+    analyzed = benchmark(lambda: instrument_signal(bottom_up_signal))
+    assert analyzed.instrumented is not None

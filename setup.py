@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs to build an editable wheel; when that is
+unavailable offline, `python setup.py develop` installs the same
+editable package using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,128 @@
+"""SympleGraph reproduction: distributed graph processing with a
+precise loop-carried dependency guarantee (Zhuo et al., PLDI 2020),
+executed on a simulated cluster with exact computation/communication
+accounting and a calibrated timing model.
+
+Quickstart::
+
+    from repro import rmat, make_engine, bfs
+
+    graph = rmat(scale=12, edge_factor=16, seed=7)
+    engine = make_engine("symple", graph, num_machines=16)
+    result = bfs(engine, root=0)
+    print(result.reached, engine.counters.summary())
+"""
+
+from repro.algorithms import (
+    bfs,
+    connected_components,
+    coreness,
+    kcore,
+    kcore_peel,
+    kmeans,
+    mis,
+    pagerank,
+    sample_neighbors,
+    scc,
+    sssp,
+)
+from repro.analysis import (
+    AnalyzedSignal,
+    analyze_signal,
+    explain_signal,
+    fold_while,
+    instrument_signal,
+)
+from repro.engine import (
+    DGaloisEngine,
+    GeminiEngine,
+    SingleThreadEngine,
+    SympleGraphEngine,
+    SympleOptions,
+    make_engine,
+)
+from repro.errors import (
+    AnalysisError,
+    ConvergenceError,
+    EngineError,
+    GraphError,
+    InstrumentationError,
+    PartitionError,
+    ReproError,
+    UnsupportedAlgorithmError,
+)
+from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, rmat
+from repro.partition import (
+    CartesianVertexCut,
+    HashVertexCut,
+    HybridCut,
+    IncomingEdgeCut,
+    OutgoingEdgeCut,
+    Partition,
+)
+from repro.runtime import (
+    DGALOIS_COST,
+    GEMINI_COST,
+    SINGLE_THREAD_COST,
+    SYMPLE_COST,
+    Bitmap,
+    CostModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # graph
+    "CSRGraph",
+    "GraphBuilder",
+    "rmat",
+    "erdos_renyi",
+    # partition
+    "Partition",
+    "OutgoingEdgeCut",
+    "IncomingEdgeCut",
+    "HashVertexCut",
+    "HybridCut",
+    "CartesianVertexCut",
+    # engines
+    "make_engine",
+    "GeminiEngine",
+    "SympleGraphEngine",
+    "SympleOptions",
+    "DGaloisEngine",
+    "SingleThreadEngine",
+    # analysis
+    "analyze_signal",
+    "instrument_signal",
+    "AnalyzedSignal",
+    "fold_while",
+    "explain_signal",
+    # algorithms
+    "bfs",
+    "mis",
+    "kcore",
+    "kcore_peel",
+    "coreness",
+    "kmeans",
+    "sample_neighbors",
+    "connected_components",
+    "pagerank",
+    "scc",
+    "sssp",
+    # runtime
+    "Bitmap",
+    "CostModel",
+    "GEMINI_COST",
+    "SYMPLE_COST",
+    "DGALOIS_COST",
+    "SINGLE_THREAD_COST",
+    # errors
+    "ReproError",
+    "GraphError",
+    "PartitionError",
+    "AnalysisError",
+    "InstrumentationError",
+    "EngineError",
+    "ConvergenceError",
+    "UnsupportedAlgorithmError",
+]

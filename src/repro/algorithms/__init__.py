@@ -1,0 +1,63 @@
+"""Graph algorithms expressed as signal-slot vertex programs."""
+
+from repro.algorithms.alias import (
+    AliasTable,
+    build_alias_tables,
+    sample_neighbors_alias,
+)
+from repro.algorithms.bfs import BFSResult, bfs, bottom_up_signal
+from repro.algorithms.cc import CCResult, cc_signal, connected_components
+from repro.algorithms.kcore import (
+    KCoreResult,
+    PeelResult,
+    coreness,
+    kcore,
+    kcore_peel,
+    kcore_signal,
+)
+from repro.algorithms.kmeans import KMeansResult, kmeans, kmeans_signal
+from repro.algorithms.mis import MISResult, mis, mis_signal
+from repro.algorithms.pagerank import PageRankResult, pagerank, pagerank_signal
+from repro.algorithms.sampling import (
+    SamplingResult,
+    sample_neighbors,
+    sampling_signal,
+)
+from repro.algorithms.scc import SCCResult, scc, scc_reach_signal
+from repro.algorithms.sssp import SSSPResult, sssp, sssp_signal
+
+__all__ = [
+    "bfs",
+    "bottom_up_signal",
+    "BFSResult",
+    "mis",
+    "mis_signal",
+    "MISResult",
+    "kcore",
+    "kcore_signal",
+    "kcore_peel",
+    "coreness",
+    "KCoreResult",
+    "PeelResult",
+    "kmeans",
+    "kmeans_signal",
+    "KMeansResult",
+    "sample_neighbors",
+    "sampling_signal",
+    "SamplingResult",
+    "connected_components",
+    "cc_signal",
+    "CCResult",
+    "pagerank",
+    "pagerank_signal",
+    "PageRankResult",
+    "scc",
+    "scc_reach_signal",
+    "SCCResult",
+    "sssp",
+    "sssp_signal",
+    "SSSPResult",
+    "AliasTable",
+    "build_alias_tables",
+    "sample_neighbors_alias",
+]

@@ -1,0 +1,107 @@
+"""Maximal Independent Set via the coloring heuristic (paper Figure 3a).
+
+Each vertex gets a distinct random color.  Per round, an active vertex
+joins the MIS if no *active* neighbor has a smaller color — the scan
+breaks as soon as one is found (loop-carried control dependency).  New
+members then deactivate themselves and their neighbors.  Requires a
+symmetric (undirected) graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.base import BaseEngine
+from repro.errors import ConvergenceError
+
+__all__ = ["mis", "mis_signal", "MISResult"]
+
+
+def mis_signal(v, nbrs, s, emit):
+    """Break on the first active neighbor with a smaller color."""
+    for u in nbrs:
+        if s.active[u] and s.color[u] < s.color[v]:
+            emit(False)
+            break
+
+
+def _not_minimum_slot(v, value, s):
+    """An active smaller-colored neighbor exists: v is not a candidate."""
+    if s.candidate[v]:
+        s.candidate[v] = False
+    return False  # candidate flags are master-local; no sync needed
+
+
+def _deactivate_push_signal(u, v, s):
+    return True if s.active[v] else None
+
+
+def _deactivate_slot(v, value, s):
+    if not s.active[v]:
+        return False
+    s.active[v] = False
+    return True
+
+
+@dataclass
+class MISResult:
+    """Output of an MIS run."""
+
+    in_mis: np.ndarray
+    rounds: int
+
+    @property
+    def size(self) -> int:
+        return int(self.in_mis.sum())
+
+
+def mis(
+    engine: BaseEngine,
+    seed: int = 0,
+    max_rounds: int | None = None,
+) -> MISResult:
+    """Compute a maximal independent set on a symmetric graph."""
+    graph = engine.graph
+    n = graph.num_vertices
+    limit = max_rounds if max_rounds is not None else n + 1
+
+    rng = np.random.default_rng(seed)
+    s = engine.new_state()
+    s.add_array("active", bool, True)
+    s.add_array("candidate", bool, True)
+    s.add_array("is_mis", bool, False)
+    s.set("color", rng.permutation(n).astype(np.int64))
+
+    rounds = 0
+    while s.active.any():
+        if rounds >= limit:
+            raise ConvergenceError("MIS exceeded its round budget")
+        s.candidate[:] = s.active
+        engine.pull(
+            mis_signal,
+            _not_minimum_slot,
+            s,
+            s.active.copy(),
+            update_bytes=8,
+            sync_bytes=0,
+        )
+
+        new_mis = np.flatnonzero(s.candidate & s.active)
+        s.is_mis[new_mis] = True
+        s.active[new_mis] = False
+        engine.sync_state(new_mis, sync_bytes=4)
+
+        if new_mis.size:
+            engine.push(
+                _deactivate_push_signal,
+                _deactivate_slot,
+                s,
+                new_mis,
+                update_bytes=8,
+                sync_bytes=4,
+            )
+        rounds += 1
+
+    return MISResult(in_mis=s.is_mis.copy(), rounds=rounds)

@@ -1,0 +1,35 @@
+"""UDF analysis and instrumentation (the paper's compiler component)."""
+
+from repro.analysis.ast_analysis import DependencyInfo, analyze_signal
+from repro.analysis.dsl import fold_while
+from repro.analysis.instrument import (
+    AnalyzedSignal,
+    analyze_and_instrument,
+    instrument_signal,
+)
+from repro.analysis.properties import (
+    CheckResult,
+    check_dependency_threading,
+    check_no_loop_carried_dependency,
+    check_parallel_decomposable,
+    check_slot_commutative,
+)
+from repro.analysis.lint import LintMessage, lint_signal
+from repro.analysis.report import explain_signal
+
+__all__ = [
+    "CheckResult",
+    "check_slot_commutative",
+    "check_no_loop_carried_dependency",
+    "check_parallel_decomposable",
+    "check_dependency_threading",
+    "LintMessage",
+    "lint_signal",
+    "DependencyInfo",
+    "analyze_signal",
+    "AnalyzedSignal",
+    "instrument_signal",
+    "analyze_and_instrument",
+    "fold_while",
+    "explain_signal",
+]

@@ -1,0 +1,218 @@
+"""UDF analysis pass (the paper's Section 4.2, first pass).
+
+The SympleGraph analyzer inspects a *signal* UDF and decides:
+
+1. does it traverse the neighbor sequence in a loop?
+2. does the loop carry a dependency — a ``break`` (control dependency)
+   and/or variables whose value flows across loop iterations (data
+   dependency, e.g. K-core's running count or sampling's prefix sum)?
+3. which variables make up the dependency state to propagate?
+
+The paper implements this as two clang LibTooling passes over the
+Clang AST of C++ lambdas; here the same analysis runs over the Python
+``ast`` of a signal function.  Signal UDFs follow the signal-slot
+convention::
+
+    def signal(v, nbrs, s, emit):
+        for u in nbrs:          # the neighbor loop (2nd parameter)
+            ...
+            emit(value)
+            break               # loop-carried control dependency
+
+Analysis restrictions (mirroring the paper's Section 4.2 assumptions):
+the neighbor loop must iterate the ``nbrs`` parameter directly, carried
+variables must be initialized by a single top-level assignment before
+the loop, and the loop body must not contain nested loops or ``return``
+statements (these defeat the source-level transform, as they would the
+clang one).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = ["DependencyInfo", "analyze_signal", "parse_signal", "SignalAst"]
+
+
+@dataclass(frozen=True)
+class DependencyInfo:
+    """Result of analyzing a signal UDF."""
+
+    has_neighbor_loop: bool
+    has_break: bool
+    carried_vars: Tuple[str, ...] = ()
+    loop_var: Optional[str] = None
+    nbrs_param: Optional[str] = None
+
+    @property
+    def has_dependency(self) -> bool:
+        """True if any loop-carried dependency (control or data) exists."""
+        return self.has_break or bool(self.carried_vars)
+
+    @property
+    def has_control_dependency(self) -> bool:
+        return self.has_break
+
+    @property
+    def has_data_dependency(self) -> bool:
+        return bool(self.carried_vars)
+
+
+@dataclass
+class SignalAst:
+    """Parsed signal function, shared between analysis and instrumentation."""
+
+    func: ast.FunctionDef
+    module: ast.Module
+    params: Tuple[str, ...]
+    loop: Optional[ast.For]
+    loop_index: int  # position of the loop in func.body
+    source: str
+    globals: dict = field(repr=False, default_factory=dict)
+
+
+def parse_signal(fn: Callable) -> SignalAst:
+    """Parse a signal function into its AST, validating the convention."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise AnalysisError(
+            f"cannot retrieve source of {fn!r}; signal UDFs must be "
+            "defined in source files (or use the fold_while DSL)"
+        ) from exc
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - getsource gave bad text
+        raise AnalysisError(f"cannot parse signal source: {exc}") from exc
+    if not module.body or not isinstance(module.body[0], ast.FunctionDef):
+        raise AnalysisError("signal UDF must be a plain function definition")
+    func = module.body[0]
+    params = tuple(arg.arg for arg in func.args.args)
+    if len(params) < 2:
+        raise AnalysisError(
+            "signal UDF needs at least (v, nbrs, ...) parameters"
+        )
+    nbrs_param = params[1]
+    loop, loop_index = _find_neighbor_loop(func, nbrs_param)
+    return SignalAst(
+        func=func,
+        module=module,
+        params=params,
+        loop=loop,
+        loop_index=loop_index,
+        source=source,
+        globals=getattr(fn, "__globals__", {}),
+    )
+
+
+def _find_neighbor_loop(
+    func: ast.FunctionDef, nbrs_param: str
+) -> Tuple[Optional[ast.For], int]:
+    """Locate the top-level ``for u in nbrs`` loop."""
+    for index, stmt in enumerate(func.body):
+        if (
+            isinstance(stmt, ast.For)
+            and isinstance(stmt.iter, ast.Name)
+            and stmt.iter.id == nbrs_param
+        ):
+            if not isinstance(stmt.target, ast.Name):
+                raise AnalysisError(
+                    "neighbor loop must bind a single variable"
+                )
+            return stmt, index
+    return None, -1
+
+
+def _contains_break(loop: ast.For) -> bool:
+    """Does the loop body contain a break belonging to this loop?"""
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Break):
+            return True
+        if node is not loop and isinstance(node, (ast.For, ast.While)):
+            raise AnalysisError(
+                "nested loops inside the neighbor loop are not supported "
+                "by the analyzer (restructure the UDF or use fold_while)"
+            )
+    return False
+
+
+def _names_assigned(stmts) -> FrozenSet[str]:
+    """Top-level simple-Name assignment targets in a statement list."""
+    names = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return frozenset(names)
+
+
+def _is_carried(loop: ast.For, name: str) -> bool:
+    """Does ``name``'s value flow across iterations of the loop?
+
+    Carried means the loop *modifies* the variable and the new value is
+    observable by later iterations: either an augmented assignment
+    (read-modify-write) or both a plain store and a load inside the
+    loop body.  A variable that is only read (loop-invariant) or only
+    written (post-loop flag) is not dependency state that must travel
+    between machines.
+    """
+    stored = loaded = False
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) and node.id == name:
+            if isinstance(node.ctx, ast.Load):
+                loaded = True
+            elif isinstance(node.ctx, ast.Store):
+                stored = True
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            return True
+    return stored and loaded
+
+
+def _check_no_return_in_loop(loop: ast.For) -> None:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Return):
+            raise AnalysisError(
+                "return inside the neighbor loop defeats instrumentation; "
+                "use break"
+            )
+
+
+def analyze_signal(fn: Callable) -> DependencyInfo:
+    """Analyze a signal UDF for loop-carried dependency (first pass)."""
+    sig = parse_signal(fn)
+    return analyze_parsed(sig)
+
+
+def analyze_parsed(sig: SignalAst) -> DependencyInfo:
+    """Analyze an already-parsed signal."""
+    if sig.loop is None:
+        return DependencyInfo(has_neighbor_loop=False, has_break=False)
+    _check_no_return_in_loop(sig.loop)
+    has_break = _contains_break(sig.loop)
+
+    pre_loop = sig.func.body[: sig.loop_index]
+    candidates = _names_assigned(pre_loop)
+    carried = tuple(
+        sorted(name for name in candidates if _is_carried(sig.loop, name))
+    )
+    return DependencyInfo(
+        has_neighbor_loop=True,
+        has_break=has_break,
+        carried_vars=carried,
+        loop_var=sig.loop.target.id,
+        nbrs_param=sig.params[1],
+    )

@@ -1,0 +1,28 @@
+"""Benchmark harness: datasets, runner, table formatting."""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, dataset, dataset_names
+from repro.bench.harness import ALGORITHMS, RunResult, run_algorithm, speedup
+from repro.bench.sweeps import (
+    SweepResult,
+    kcore_sweep,
+    machine_sweep,
+    threshold_sweep,
+)
+from repro.bench.tables import format_table, geomean
+
+__all__ = [
+    "SweepResult",
+    "machine_sweep",
+    "kcore_sweep",
+    "threshold_sweep",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset",
+    "dataset_names",
+    "ALGORITHMS",
+    "RunResult",
+    "run_algorithm",
+    "speedup",
+    "format_table",
+    "geomean",
+]

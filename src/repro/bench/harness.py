@@ -1,0 +1,161 @@
+"""Experiment harness.
+
+Runs one (engine, algorithm, dataset) combination under the paper's
+measurement protocol and returns every metric the evaluation tables
+report: simulated execution time, edges traversed, and the per-tag
+communication breakdown.  BFS follows the paper's multi-root protocol
+(random non-isolated roots, averaged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithms import bfs, kcore, kmeans, mis, sample_neighbors
+from repro.engine import SympleOptions, make_engine
+from repro.engine.base import BaseEngine
+from repro.graph.csr import CSRGraph
+from repro.runtime.cost_model import CostModel
+
+__all__ = ["RunResult", "run_algorithm", "ALGORITHMS", "speedup"]
+
+ALGORITHMS = ("bfs", "kcore", "mis", "kmeans", "sampling")
+
+
+@dataclass
+class RunResult:
+    """Metrics from one experiment run."""
+
+    engine: str
+    algorithm: str
+    num_machines: int
+    simulated_time: float
+    edges_traversed: int
+    update_bytes: int
+    dep_bytes: int
+    sync_bytes: int
+    push_bytes: int
+    total_bytes: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def non_dep_bytes(self) -> int:
+        """Everything except dependency traffic (Gemini-comparable)."""
+        return self.total_bytes - self.dep_bytes
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (for experiment archives)."""
+        return {
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "num_machines": self.num_machines,
+            "simulated_time": self.simulated_time,
+            "edges_traversed": self.edges_traversed,
+            "update_bytes": self.update_bytes,
+            "dep_bytes": self.dep_bytes,
+            "sync_bytes": self.sync_bytes,
+            "push_bytes": self.push_bytes,
+            "total_bytes": self.total_bytes,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunResult":
+        return cls(**payload)
+
+
+def _bfs_roots(graph: CSRGraph, num_roots: int, seed: int) -> np.ndarray:
+    """Random non-isolated roots (the paper uses 64 of them)."""
+    rng = np.random.default_rng(seed)
+    candidates = np.flatnonzero(graph.out_degrees() > 0)
+    if candidates.size == 0:
+        raise ValueError("graph has no non-isolated vertex to root BFS at")
+    count = min(num_roots, candidates.size)
+    return rng.choice(candidates, size=count, replace=False)
+
+
+def run_algorithm(
+    engine_kind: str,
+    graph: CSRGraph,
+    algorithm: str,
+    num_machines: int = 16,
+    seed: int = 0,
+    options: Optional[SympleOptions] = None,
+    cost_model: Optional[CostModel] = None,
+    bfs_roots: int = 3,
+    kcore_k: int = 8,
+    kmeans_rounds: int = 2,
+) -> RunResult:
+    """Execute one experiment and collect its metrics.
+
+    BFS accumulates counters over ``bfs_roots`` random roots and
+    reports the per-root average simulated time, mirroring the paper's
+    averaging protocol at reduced repetition count.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+
+    engine = make_engine(engine_kind, graph, num_machines, options=options)
+    extra: Dict[str, float] = {}
+
+    if algorithm == "bfs":
+        roots = _bfs_roots(graph, bfs_roots, seed)
+        reached = 0
+        for root in roots:
+            result = bfs(engine, int(root))
+            reached += result.reached
+        extra["avg_reached"] = reached / len(roots)
+        time = engine.execution_time(cost_model) / len(roots)
+        return _collect(engine, algorithm, time, extra, scale=1.0 / len(roots))
+    if algorithm == "kcore":
+        result = kcore(engine, k=kcore_k)
+        extra["core_size"] = result.size
+        extra["rounds"] = result.rounds
+    elif algorithm == "mis":
+        result = mis(engine, seed=seed)
+        extra["mis_size"] = result.size
+        extra["rounds"] = result.rounds
+    elif algorithm == "kmeans":
+        result = kmeans(engine, rounds=kmeans_rounds, seed=seed)
+        extra["assigned"] = result.assigned_count
+    elif algorithm == "sampling":
+        result = sample_neighbors(engine, seed=seed)
+        extra["sampled"] = result.sampled_count
+
+    time = engine.execution_time(cost_model)
+    return _collect(engine, algorithm, time, extra)
+
+
+def _collect(
+    engine: BaseEngine,
+    algorithm: str,
+    simulated_time: float,
+    extra: Dict[str, float],
+    scale: float = 1.0,
+) -> RunResult:
+    c = engine.counters
+    return RunResult(
+        engine=engine.kind,
+        algorithm=algorithm,
+        num_machines=engine.num_machines,
+        simulated_time=simulated_time,
+        edges_traversed=int(c.edges_traversed * scale),
+        update_bytes=int(c.update_bytes * scale),
+        dep_bytes=int(c.dep_bytes * scale),
+        sync_bytes=int(c.sync_bytes * scale),
+        push_bytes=int(c.push_bytes * scale),
+        total_bytes=int(c.total_bytes * scale),
+        extra=extra,
+    )
+
+
+def speedup(baseline: RunResult, contender: RunResult) -> float:
+    """How much faster the contender is (>1 means contender wins)."""
+    if contender.simulated_time <= 0:
+        raise ValueError("contender has no recorded time")
+    return baseline.simulated_time / contender.simulated_time

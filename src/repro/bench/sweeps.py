@@ -1,0 +1,108 @@
+"""Parameter sweeps.
+
+Programmatic versions of the evaluation's sweep protocols: machine
+counts (Figure 10 / Table 7), K values (Table 2), and the degree
+threshold (Section 6).  Each returns structured results usable by the
+CLI, notebooks, or the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import RunResult, run_algorithm
+from repro.engine import SympleOptions
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SweepResult", "machine_sweep", "kcore_sweep", "threshold_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Results of a one-dimensional sweep."""
+
+    parameter: str
+    values: List[object] = field(default_factory=list)
+    runs: Dict[object, RunResult] = field(default_factory=dict)
+
+    def times(self) -> Dict[object, float]:
+        return {v: self.runs[v].simulated_time for v in self.values}
+
+    def best(self) -> object:
+        """Parameter value with the lowest simulated time."""
+        if not self.values:
+            raise ValueError("empty sweep")
+        return min(self.values, key=lambda v: self.runs[v].simulated_time)
+
+
+def machine_sweep(
+    engine_kind: str,
+    graph: CSRGraph,
+    algorithm: str,
+    machine_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    seed: int = 0,
+    **kwargs,
+) -> SweepResult:
+    """Scalability sweep over the cluster size (Figure 10's x-axis)."""
+    sweep = SweepResult(parameter="machines")
+    for p in machine_counts:
+        sweep.values.append(p)
+        sweep.runs[p] = run_algorithm(
+            engine_kind, graph, algorithm, num_machines=p, seed=seed, **kwargs
+        )
+    return sweep
+
+
+def kcore_sweep(
+    engine_kind: str,
+    graph: CSRGraph,
+    ks: Sequence[int] = (4, 8, 16, 32, 64),
+    num_machines: int = 8,
+    seed: int = 0,
+) -> SweepResult:
+    """Table 2's K sweep."""
+    sweep = SweepResult(parameter="k")
+    for k in ks:
+        sweep.values.append(k)
+        sweep.runs[k] = run_algorithm(
+            engine_kind,
+            graph,
+            "kcore",
+            num_machines=num_machines,
+            seed=seed,
+            kcore_k=k,
+        )
+    return sweep
+
+
+def threshold_sweep(
+    graph: CSRGraph,
+    algorithm: str,
+    thresholds: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    num_machines: int = 16,
+    seed: int = 0,
+    base_options: Optional[SympleOptions] = None,
+    **kwargs,
+) -> SweepResult:
+    """Section 6's differentiated-propagation threshold sweep."""
+    base = base_options or SympleOptions()
+    sweep = SweepResult(parameter="degree_threshold")
+    for threshold in thresholds:
+        options = SympleOptions(
+            degree_threshold=threshold,
+            differentiated=True,
+            double_buffering=base.double_buffering,
+            schedule=base.schedule,
+        )
+        sweep.values.append(threshold)
+        sweep.runs[threshold] = run_algorithm(
+            "symple",
+            graph,
+            algorithm,
+            num_machines=num_machines,
+            seed=seed,
+            options=options,
+            **kwargs,
+        )
+    return sweep

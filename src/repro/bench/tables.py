@@ -1,0 +1,63 @@
+"""Paper-style table rendering.
+
+Each benchmark prints rows in the same layout as the corresponding
+paper table, plus a machine-readable dict for assertions and for
+EXPERIMENTS.md.  Formatting only — no measurement logic here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "format_ratio", "geomean"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's aggregate for speedups."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def format_ratio(value: float) -> str:
+    """Two-decimal rendering used for speedup/ratio cells."""
+    return f"{value:.2f}"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: List[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render an aligned text table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, "=" * len(title), line(headers), rule]
+    out.extend(line(row) for row in str_rows)
+    if note:
+        out.append(rule)
+        out.append(note)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.4g}" if abs(cell) < 10 else f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,269 @@
+"""Command-line interface.
+
+Run experiments and inspect the framework without writing code::
+
+    python -m repro datasets
+    python -m repro run --engine symple --dataset s27 --algorithm mis
+    python -m repro compare --dataset s28 --algorithm kcore --machines 16
+    python -m repro analyze bfs
+
+``run`` executes one experiment and prints the metrics the paper's
+tables report; ``compare`` runs Gemini and SympleGraph side by side;
+``analyze`` prints the analyzer report for one of the built-in UDFs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import explain_signal
+from repro.bench import ALGORITHMS, DATASETS, dataset, run_algorithm, speedup
+from repro.bench.tables import format_table
+from repro.engine import SympleOptions
+
+_SIGNALS = {}
+
+
+def _load_signals():
+    if not _SIGNALS:
+        from repro.algorithms.bfs import bottom_up_signal
+        from repro.algorithms.cc import cc_signal
+        from repro.algorithms.kcore import kcore_signal
+        from repro.algorithms.kmeans import kmeans_signal
+        from repro.algorithms.mis import mis_signal
+        from repro.algorithms.pagerank import pagerank_signal
+        from repro.algorithms.sampling import sampling_signal
+
+        _SIGNALS.update(
+            {
+                "bfs": bottom_up_signal,
+                "mis": mis_signal,
+                "kcore": kcore_signal,
+                "kmeans": kmeans_signal,
+                "sampling": sampling_signal,
+                "cc": cc_signal,
+                "pagerank": pagerank_signal,
+            }
+        )
+    return _SIGNALS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SympleGraph reproduction: simulated distributed "
+        "graph processing with precise loop-carried dependency.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the benchmark dataset registry")
+
+    run = sub.add_parser("run", help="run one experiment")
+    _add_run_args(run)
+    run.add_argument(
+        "--engine",
+        default="symple",
+        choices=("gemini", "symple", "dgalois", "single"),
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run Gemini and SympleGraph side by side"
+    )
+    _add_run_args(compare)
+
+    analyze = sub.add_parser(
+        "analyze", help="print the analyzer report for a built-in UDF"
+    )
+    analyze.add_argument("signal", choices=sorted(_load_signals()))
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep machine counts for one engine/algorithm"
+    )
+    sweep.add_argument("--engine", default="symple",
+                       choices=("gemini", "symple", "dgalois"))
+    sweep.add_argument("--dataset", default="s27", choices=sorted(DATASETS))
+    sweep.add_argument("--algorithm", default="mis", choices=ALGORITHMS)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--machines", type=int, nargs="+", default=[1, 2, 4, 8, 16]
+    )
+
+    schedule = sub.add_parser(
+        "schedule", help="print the circulant schedule matrix (Figure 7)"
+    )
+    schedule.add_argument("--machines", type=int, default=4)
+
+    report = sub.add_parser(
+        "report", help="collect regenerated benchmark tables into one report"
+    )
+    report.add_argument(
+        "--results-dir",
+        default=None,
+        help="directory of bench results (default: benchmarks/results)",
+    )
+    report.add_argument("--output", default=None, help="write report here")
+
+    return parser
+
+
+def _add_run_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--dataset", default="s27", choices=sorted(DATASETS))
+    cmd.add_argument("--algorithm", default="bfs", choices=ALGORITHMS)
+    cmd.add_argument("--machines", type=int, default=16)
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument("--kcore-k", type=int, default=8)
+    cmd.add_argument("--bfs-roots", type=int, default=3)
+    cmd.add_argument(
+        "--no-double-buffering", action="store_true",
+        help="disable the double-buffering optimization",
+    )
+    cmd.add_argument(
+        "--no-differentiated", action="store_true",
+        help="disable differentiated dependency propagation",
+    )
+    cmd.add_argument(
+        "--schedule", default="circulant", choices=("circulant", "naive")
+    )
+
+
+def _options(args) -> SympleOptions:
+    return SympleOptions(
+        double_buffering=not args.no_double_buffering,
+        differentiated=not args.no_differentiated,
+        schedule=args.schedule,
+    )
+
+
+def _execute(engine: str, args):
+    return run_algorithm(
+        engine,
+        dataset(args.dataset),
+        args.algorithm,
+        num_machines=args.machines,
+        seed=args.seed,
+        options=_options(args) if engine == "symple" else None,
+        bfs_roots=args.bfs_roots,
+        kcore_k=args.kcore_k,
+    )
+
+
+def _metric_rows(results) -> List[List[object]]:
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.engine,
+                f"{r.simulated_time:,.0f}",
+                f"{r.edges_traversed:,}",
+                f"{r.update_bytes:,}",
+                f"{r.dep_bytes:,}",
+                f"{r.total_bytes:,}",
+            ]
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        rows = []
+        for name, spec in DATASETS.items():
+            g = dataset(name)
+            rows.append(
+                [name, spec.paper_name, g.num_vertices, g.num_edges,
+                 spec.description]
+            )
+        print(
+            format_table(
+                "Benchmark datasets (paper graph -> scaled stand-in)",
+                ["name", "paper graph", "|V|", "|E|", "notes"],
+                rows,
+            )
+        )
+        return 0
+
+    if args.command == "analyze":
+        print(explain_signal(_load_signals()[args.signal]))
+        return 0
+
+    if args.command == "schedule":
+        from repro.runtime.trace import render_schedule
+
+        print(render_schedule(args.machines))
+        return 0
+
+    if args.command == "report":
+        import os
+
+        from repro.bench.report import collect_results
+
+        results_dir = args.results_dir
+        if results_dir is None:
+            results_dir = os.path.join(os.getcwd(), "benchmarks", "results")
+        print(collect_results(results_dir, output_path=args.output))
+        return 0
+
+    if args.command == "sweep":
+        from repro.bench.sweeps import machine_sweep
+
+        sweep = machine_sweep(
+            args.engine,
+            dataset(args.dataset),
+            args.algorithm,
+            machine_counts=args.machines,
+            seed=args.seed,
+        )
+        rows = [
+            [p, f"{sweep.runs[p].simulated_time:,.0f}",
+             f"{sweep.runs[p].total_bytes:,}"]
+            for p in sweep.values
+        ]
+        print(
+            format_table(
+                f"{args.engine} {args.algorithm}/{args.dataset} "
+                "machine sweep",
+                ["machines", "sim.time", "total.bytes"],
+                rows,
+                note=f"best machine count: {sweep.best()}",
+            )
+        )
+        return 0
+
+    if args.command == "run":
+        result = _execute(args.engine, args)
+        print(
+            format_table(
+                f"{args.algorithm} on {args.dataset} "
+                f"({args.machines} machines)",
+                ["engine", "sim.time", "edges", "upd.bytes", "dep.bytes",
+                 "total.bytes"],
+                _metric_rows([result]),
+            )
+        )
+        for key, value in sorted(result.extra.items()):
+            print(f"{key}: {value}")
+        return 0
+
+    if args.command == "compare":
+        gem = _execute("gemini", args)
+        sym = _execute("symple", args)
+        print(
+            format_table(
+                f"{args.algorithm} on {args.dataset} "
+                f"({args.machines} machines)",
+                ["engine", "sim.time", "edges", "upd.bytes", "dep.bytes",
+                 "total.bytes"],
+                _metric_rows([gem, sym]),
+                note=f"SympleGraph speedup: {speedup(gem, sym):.2f}x",
+            )
+        )
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

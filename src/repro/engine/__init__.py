@@ -1,0 +1,81 @@
+"""Distributed engines: Gemini, SympleGraph, D-Galois, single-thread."""
+
+from typing import Optional, Union
+
+from repro.engine.base import BaseEngine, PullResult, PushResult
+from repro.engine.dgalois import DGaloisEngine
+from repro.engine.gemini import GeminiEngine
+from repro.engine.single_thread import SingleThreadEngine
+from repro.engine.state import StateStore
+from repro.engine.symple import (
+    SympleGraphEngine,
+    SympleOptions,
+    circulant_machine_order,
+    circulant_partition,
+)
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph
+from repro.partition.base import Partition
+from repro.partition.edge_cut import OutgoingEdgeCut
+from repro.partition.vertex_cut import CartesianVertexCut
+
+__all__ = [
+    "BaseEngine",
+    "PullResult",
+    "PushResult",
+    "GeminiEngine",
+    "SympleGraphEngine",
+    "SympleOptions",
+    "DGaloisEngine",
+    "SingleThreadEngine",
+    "StateStore",
+    "make_engine",
+    "circulant_partition",
+    "circulant_machine_order",
+]
+
+_ENGINE_KINDS = ("gemini", "symple", "dgalois", "single")
+
+
+def make_engine(
+    kind: str,
+    graph_or_partition: Union[CSRGraph, Partition],
+    num_machines: int = 16,
+    options: Optional[SympleOptions] = None,
+) -> BaseEngine:
+    """Build an engine with its canonical partition strategy.
+
+    ``gemini`` and ``symple`` run on Gemini's chunked outgoing
+    edge-cut; ``dgalois`` on the Cartesian vertex-cut it defaults to at
+    scale; ``single`` on one machine.  Pass a pre-built
+    :class:`Partition` to override the strategy.
+    """
+    if kind not in _ENGINE_KINDS:
+        raise EngineError(
+            f"unknown engine kind {kind!r}; expected one of {_ENGINE_KINDS}"
+        )
+
+    if kind == "single":
+        if isinstance(graph_or_partition, Partition):
+            graph = graph_or_partition.graph
+        else:
+            graph = graph_or_partition
+        return SingleThreadEngine(graph)
+
+    if isinstance(graph_or_partition, Partition):
+        partition = graph_or_partition
+    else:
+        if kind == "dgalois":
+            partition = CartesianVertexCut().partition(
+                graph_or_partition, num_machines
+            )
+        else:
+            partition = OutgoingEdgeCut().partition(
+                graph_or_partition, num_machines
+            )
+
+    if kind == "gemini":
+        return GeminiEngine(partition)
+    if kind == "dgalois":
+        return DGaloisEngine(partition)
+    return SympleGraphEngine(partition, options=options)

@@ -1,0 +1,317 @@
+"""Shared engine machinery.
+
+A *distributed engine* executes signal-slot vertex programs over a
+:class:`~repro.partition.base.Partition`, metering every neighbor scan
+and every remote byte.  Concrete engines differ in how the dense pull
+phase is scheduled:
+
+* :class:`~repro.engine.gemini.GeminiEngine` — every machine scans its
+  local in-edges independently and in parallel (the BSP baseline);
+* :class:`~repro.engine.symple.SympleGraphEngine` — circulant
+  scheduling with dependency propagation;
+* :class:`~repro.engine.dgalois.DGaloisEngine` — BSP over a vertex-cut
+  with Gluon-style reduce+broadcast synchronization.
+
+The sparse push phase and the slot/update/sync protocol are shared.
+Slot application is deferred to the end of the phase (bulk-synchronous
+visibility): signals never observe same-iteration writes, matching
+Definition 2.2 semantics so all engines compute identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.instrument import AnalyzedSignal, instrument_signal
+from repro.engine.state import StateStore
+from repro.errors import EngineError
+from repro.partition.base import Partition
+from repro.runtime.cost_model import CostModel
+from repro.runtime.counters import Counters, IterationRecord, StepRecord
+from repro.runtime.network import SimulatedNetwork
+
+__all__ = [
+    "CountingNeighbors",
+    "PullResult",
+    "PushResult",
+    "BaseEngine",
+    "SignalLike",
+]
+
+SignalLike = Union[Callable, AnalyzedSignal]
+
+
+class CountingNeighbors:
+    """Iterable over a neighbor array that counts examined elements.
+
+    The count includes every neighbor the UDF's loop touched, including
+    the one that triggered the break — the paper's "edges traversed"
+    metric (Table 5).
+    """
+
+    __slots__ = ("_array", "count")
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._array = array
+        self.count = 0
+
+    def __iter__(self):
+        for value in self._array:
+            self.count += 1
+            yield int(value)
+
+    def __len__(self) -> int:
+        return int(self._array.size)
+
+
+@dataclass
+class PullResult:
+    """Outcome of one dense pull phase."""
+
+    changed: np.ndarray
+    updates_applied: int
+    edges_traversed: int
+
+    @property
+    def any_changed(self) -> bool:
+        return self.changed.size > 0
+
+
+@dataclass
+class PushResult:
+    """Outcome of one sparse push phase."""
+
+    changed: np.ndarray
+    updates_applied: int
+    edges_traversed: int
+
+    @property
+    def any_changed(self) -> bool:
+        return self.changed.size > 0
+
+
+@dataclass
+class _UpdateBuffer:
+    """Updates collected during a phase, applied bulk-synchronously."""
+
+    items: List[Tuple[int, object]] = field(default_factory=list)
+
+    def add(self, v: int, value: object) -> None:
+        self.items.append((v, value))
+
+    def apply(
+        self, slot: Callable, state: StateStore
+    ) -> Tuple[np.ndarray, int]:
+        changed: Dict[int, None] = {}
+        for v, value in self.items:
+            if slot(v, value, state):
+                changed[v] = None
+        return np.fromiter(changed.keys(), dtype=np.int64), len(self.items)
+
+
+class BaseEngine:
+    """Common state and protocol shared by all distributed engines."""
+
+    kind = "abstract"
+    cost_kind = "gemini"  # which CostModel pricing function applies
+    supports_dependency = False
+    sync_scope = "in"  # which replica holders receive state broadcasts
+
+    def __init__(self, partition: Partition, default_cost: CostModel) -> None:
+        self.partition = partition
+        self.graph = partition.graph
+        self.num_machines = partition.num_machines
+        self.counters = Counters(self.num_machines)
+        self.network = SimulatedNetwork(self.num_machines, self.counters)
+        self.default_cost = default_cost
+        self._analyzed: Dict[int, AnalyzedSignal] = {}
+
+    # -- state -----------------------------------------------------------
+
+    def new_state(self) -> StateStore:
+        """Fresh vertex-state namespace sized for this engine's graph."""
+        return StateStore(self.graph.num_vertices)
+
+    # -- UDF analysis -------------------------------------------------------
+
+    def ensure_analyzed(self, signal: SignalLike) -> AnalyzedSignal:
+        """Analyze and instrument a signal, caching per function object."""
+        if isinstance(signal, AnalyzedSignal):
+            return signal
+        key = id(signal)
+        cached = self._analyzed.get(key)
+        if cached is None:
+            cached = instrument_signal(signal)
+            self._analyzed[key] = cached
+        return cached
+
+    # -- phases ---------------------------------------------------------------
+
+    def pull(
+        self,
+        signal: SignalLike,
+        slot: Callable,
+        state: StateStore,
+        active: np.ndarray,
+        update_bytes: int = 8,
+        sync_bytes: int = 8,
+        dep_data_bytes: int = 4,
+        allow_differentiated: bool = True,
+        share_dep_data: bool = True,
+    ) -> PullResult:
+        """Dense pull phase over active destination vertices.
+
+        ``allow_differentiated=False`` forces dependency propagation for
+        every vertex regardless of degree: required when the UDF is not
+        Gemini-correct on its own (e.g. sampling's prefix sum, which has
+        no meaning when machines scan independently).
+        """
+        raise NotImplementedError
+
+    def push(
+        self,
+        push_signal: Callable,
+        slot: Callable,
+        state: StateStore,
+        frontier: np.ndarray,
+        update_bytes: int = 8,
+        sync_bytes: int = 8,
+    ) -> PushResult:
+        """Sparse push phase from the frontier along out-edges.
+
+        ``push_signal(u, v, state)`` returns an update value or None.
+        The paper's optimization targets pull mode; push is identical
+        across the distributed engines.
+        """
+        frontier_idx = self._as_indices(frontier)
+        record = IterationRecord(mode="push")
+        step = StepRecord(self.num_machines)
+        buffer = _UpdateBuffer()
+        master_of = self.partition.master_of
+        push_msg: Dict[Tuple[int, int], int] = {}
+
+        for m in range(self.num_machines):
+            local = self.partition.local_out(m)
+            degs = local.degrees()
+            cand = frontier_idx[degs[frontier_idx] > 0]
+            for u in cand:
+                u = int(u)
+                owner = int(master_of[u])
+                if owner != m:
+                    # frontier state of u must reach this machine's
+                    # out-edge replicas (free under outgoing edge-cut).
+                    self.network.send(owner, m, "push", 8)
+                    step.update_bytes[owner] += 8
+                for v in local.neighbors(u):
+                    v = int(v)
+                    step.high_edges[m] += 1
+                    value = push_signal(u, v, state)
+                    if value is None:
+                        continue
+                    dst_master = int(master_of[v])
+                    if dst_master != m:
+                        key = (m, dst_master)
+                        push_msg[key] = push_msg.get(key, 0) + update_bytes
+                        step.update_bytes[m] += update_bytes
+                    buffer.add(v, value)
+                step.high_vertices[m] += 1
+
+        for (src, dst), nbytes in push_msg.items():
+            self.network.send(src, dst, "push", nbytes)
+
+        changed, applied = buffer.apply(slot, state)
+        record.push_bytes = sum(push_msg.values())
+        record.steps = [step]
+        self._count_sync(changed, sync_bytes, record)
+        self.counters.add_iteration(record)
+        self.counters.add_edges(int(step.high_edges.sum()))
+        self.counters.add_vertices(int(step.high_vertices.sum()))
+        return PushResult(changed, applied, int(step.high_edges.sum()))
+
+    # -- protocol helpers -------------------------------------------------------
+
+    @staticmethod
+    def _as_indices(vertices: Union[np.ndarray, Sequence[int]]) -> np.ndarray:
+        arr = np.asarray(vertices)
+        if arr.dtype == bool:
+            return np.flatnonzero(arr)
+        return np.sort(arr.astype(np.int64))
+
+    def _count_sync(
+        self, changed: np.ndarray, sync_bytes: int, record: IterationRecord
+    ) -> None:
+        """Broadcast changed master state to replica holders.
+
+        Every machine holding edges of a changed vertex needs the new
+        flag value before the next phase (e.g. the "visited" filter in
+        bottom-up BFS).  Counted per (vertex, holder) pair.
+        """
+        if changed.size == 0 or sync_bytes == 0 or self.num_machines == 1:
+            return
+        holders = self.partition._has_in[:, changed].copy()
+        if self.sync_scope == "both":
+            holders |= self.partition._has_out[:, changed]
+        masters = self.partition.master_of[changed]
+        holders[masters, np.arange(changed.size)] = False
+        per_pair = holders.sum(axis=1)  # entries per receiving machine
+        total = 0
+        for m in range(self.num_machines):
+            count = int(per_pair[m])
+            if count == 0:
+                continue
+            # sender is each vertex's master; aggregate by receiver and
+            # charge each master->receiver pair.
+            send_masters, counts = np.unique(
+                masters[holders[m]], return_counts=True
+            )
+            for src, cnt in zip(send_masters, counts):
+                nbytes = int(cnt) * sync_bytes
+                self.network.send(int(src), m, "sync", nbytes)
+                total += nbytes
+        record.sync_bytes += total
+
+    def sync_state(self, vertices: np.ndarray, sync_bytes: int = 4) -> None:
+        """Explicitly broadcast changed master state to replica holders.
+
+        For algorithm steps that mutate vertex state outside a slot
+        (e.g. MIS finalization marking new members inactive).  Bytes
+        attach to the most recent iteration record.
+        """
+        vertices = self._as_indices(vertices)
+        if vertices.size == 0:
+            return
+        if not self.counters.iterations:
+            record = IterationRecord(mode="pull")
+            record.steps = [StepRecord(self.num_machines)]
+            self.counters.add_iteration(record)
+        self._count_sync(vertices, sync_bytes, self.counters.iterations[-1])
+
+    def _active_candidates(
+        self, active_idx: np.ndarray, machine: int
+    ) -> np.ndarray:
+        """Active vertices with local in-edges on ``machine``."""
+        degs = self.partition.local_in(machine).degrees()
+        return active_idx[degs[active_idx] > 0]
+
+    # -- results --------------------------------------------------------------
+
+    def execution_time(self, cost_model: Optional[CostModel] = None) -> float:
+        """Simulated execution time of everything run so far."""
+        model = cost_model or self.default_cost
+        return model.execution_time(self.counters, self.cost_kind)
+
+    def reset_metrics(self) -> None:
+        """Clear counters and traffic (state/partition untouched)."""
+        self.counters = Counters(self.num_machines)
+        self.network = SimulatedNetwork(self.num_machines, self.counters)
+
+    def _check_active(self, active: np.ndarray) -> np.ndarray:
+        arr = np.asarray(active)
+        if arr.dtype != bool or arr.shape != (self.graph.num_vertices,):
+            raise EngineError(
+                "active must be a boolean mask over all vertices"
+            )
+        return np.flatnonzero(arr)

@@ -1,0 +1,92 @@
+"""D-Galois / Gluon baseline engine (Dathathri et al., PLDI'18).
+
+Structural model of the comparison system: bulk-synchronous execution
+over a Cartesian vertex-cut, with Gluon's partition-agnostic
+synchronization substrate.  Because a vertex-cut splits both edge
+directions, the substrate must run a *reduce* (mirror -> master) and a
+*broadcast* (master -> all mirrors) phase every round — the engine's
+``sync_scope = "both"`` and its cost preset reflect that.  No
+dependency propagation; local breaks are again only local.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.base import (
+    BaseEngine,
+    CountingNeighbors,
+    PullResult,
+    SignalLike,
+    _UpdateBuffer,
+)
+from repro.engine.state import StateStore
+from repro.partition.base import Partition
+from repro.runtime.cost_model import DGALOIS_COST, CostModel
+from repro.runtime.counters import IterationRecord, StepRecord
+
+__all__ = ["DGaloisEngine"]
+
+
+class DGaloisEngine(BaseEngine):
+    """BSP engine over a vertex-cut with reduce+broadcast sync."""
+
+    kind = "dgalois"
+    cost_kind = "dgalois"
+    supports_dependency = False
+    sync_scope = "both"
+
+    def __init__(
+        self, partition: Partition, cost_model: CostModel = DGALOIS_COST
+    ) -> None:
+        super().__init__(partition, cost_model)
+
+    def pull(
+        self,
+        signal: SignalLike,
+        slot: Callable,
+        state: StateStore,
+        active: np.ndarray,
+        update_bytes: int = 8,
+        sync_bytes: int = 8,
+        dep_data_bytes: int = 4,
+        allow_differentiated: bool = True,
+        share_dep_data: bool = True,
+    ) -> PullResult:
+        active_idx = self._check_active(active)
+        analyzed = self.ensure_analyzed(signal)
+        fn = analyzed.original
+        master_of = self.partition.master_of
+
+        record = IterationRecord(mode="pull")
+        step = StepRecord(self.num_machines)
+        buffer = _UpdateBuffer()
+
+        for m in range(self.num_machines):
+            local = self.partition.local_in(m)
+            for v in self._active_candidates(active_idx, m):
+                v = int(v)
+                nbrs = CountingNeighbors(local.neighbors(v))
+                emitted: list = []
+                fn(v, nbrs, state, emitted.append)
+                step.high_edges[m] += nbrs.count
+                step.high_vertices[m] += 1
+                if not emitted:
+                    continue
+                master = int(master_of[v])
+                if master != m:
+                    nbytes = update_bytes * len(emitted)
+                    self.network.send(m, master, "update", nbytes)
+                    step.update_bytes[m] += nbytes
+                for value in emitted:
+                    buffer.add(v, value)
+
+        changed, applied = buffer.apply(slot, state)
+        record.steps = [step]
+        self._count_sync(changed, sync_bytes, record)
+        self.counters.add_iteration(record)
+        self.counters.add_edges(int(step.high_edges.sum()))
+        self.counters.add_vertices(int(step.high_vertices.sum()))
+        return PullResult(changed, applied, int(step.high_edges.sum()))

@@ -1,0 +1,91 @@
+"""Gemini baseline engine (Zhu et al., OSDI'16).
+
+Dense pull: every machine scans its local in-edges of every active
+destination vertex *independently and in parallel*, running the
+original (un-instrumented) signal UDF.  A machine's local ``break``
+only stops its own scan — the loop-carried dependency is an "illusion"
+(paper Section 1): other machines keep traversing and keep sending
+updates the master will discard.  This engine is the measurement
+baseline for Tables 2-6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.base import (
+    BaseEngine,
+    CountingNeighbors,
+    PullResult,
+    SignalLike,
+    _UpdateBuffer,
+)
+from repro.engine.state import StateStore
+from repro.partition.base import Partition
+from repro.runtime.cost_model import GEMINI_COST, CostModel
+from repro.runtime.counters import IterationRecord, StepRecord
+
+__all__ = ["GeminiEngine"]
+
+
+class GeminiEngine(BaseEngine):
+    """BSP signal-slot engine without dependency propagation."""
+
+    kind = "gemini"
+    cost_kind = "gemini"
+    supports_dependency = False
+
+    def __init__(
+        self, partition: Partition, cost_model: CostModel = GEMINI_COST
+    ) -> None:
+        super().__init__(partition, cost_model)
+
+    def pull(
+        self,
+        signal: SignalLike,
+        slot: Callable,
+        state: StateStore,
+        active: np.ndarray,
+        update_bytes: int = 8,
+        sync_bytes: int = 8,
+        dep_data_bytes: int = 4,
+        allow_differentiated: bool = True,
+        share_dep_data: bool = True,
+    ) -> PullResult:
+        active_idx = self._check_active(active)
+        analyzed = self.ensure_analyzed(signal)
+        fn = analyzed.original
+        master_of = self.partition.master_of
+
+        record = IterationRecord(mode="pull")
+        step = StepRecord(self.num_machines)
+        buffer = _UpdateBuffer()
+
+        for m in range(self.num_machines):
+            local = self.partition.local_in(m)
+            for v in self._active_candidates(active_idx, m):
+                v = int(v)
+                nbrs = CountingNeighbors(local.neighbors(v))
+                emitted: list = []
+                fn(v, nbrs, state, emitted.append)
+                step.high_edges[m] += nbrs.count
+                step.high_vertices[m] += 1
+                if not emitted:
+                    continue
+                master = int(master_of[v])
+                if master != m:
+                    nbytes = update_bytes * len(emitted)
+                    self.network.send(m, master, "update", nbytes)
+                    step.update_bytes[m] += nbytes
+                for value in emitted:
+                    buffer.add(v, value)
+
+        changed, applied = buffer.apply(slot, state)
+        record.steps = [step]
+        self._count_sync(changed, sync_bytes, record)
+        self.counters.add_iteration(record)
+        self.counters.add_edges(int(step.high_edges.sum()))
+        self.counters.add_vertices(int(step.high_vertices.sum()))
+        return PullResult(changed, applied, int(step.high_edges.sum()))

@@ -1,0 +1,82 @@
+"""Vertex state store.
+
+Algorithms keep their per-vertex arrays (and scalar parameters) in a
+:class:`StateStore`, accessed in UDFs as attributes: ``s.frontier[u]``,
+``s.k``.  In the real system these arrays are distributed and mirror
+replicas are kept consistent by update/sync communication, which the
+engines meter; the store itself is a plain namespace of NumPy arrays —
+the Struct-of-Arrays layout of the paper's Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+import numpy as np
+
+from repro.errors import EngineError
+
+__all__ = ["StateStore"]
+
+
+class StateStore:
+    """Attribute-style namespace of named vertex arrays and scalars."""
+
+    def __init__(self, num_vertices: int) -> None:
+        object.__setattr__(self, "_num_vertices", int(num_vertices))
+        object.__setattr__(self, "_fields", {})
+
+    # -- declaration -------------------------------------------------------
+
+    def add_array(self, name: str, dtype, fill: Any = 0) -> np.ndarray:
+        """Declare a per-vertex array initialized to ``fill``."""
+        array = np.full(self._num_vertices, fill, dtype=dtype)
+        self._fields[name] = array
+        return array
+
+    def add_scalar(self, name: str, value: Any) -> Any:
+        """Declare a scalar parameter (e.g. the K of K-core)."""
+        self._fields[name] = value
+        return value
+
+    def set(self, name: str, value: Any) -> None:
+        """Bind ``name`` to any value (array, scalar, or helper object)."""
+        self._fields[name] = value
+
+    # -- access -------------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        fields: Dict[str, Any] = object.__getattribute__(self, "_fields")
+        try:
+            return fields[name]
+        except KeyError:
+            raise AttributeError(
+                f"state has no field {name!r}; declared: {sorted(fields)}"
+            ) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self._fields[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    def array(self, name: str) -> np.ndarray:
+        """The named field, checked to be a NumPy array."""
+        value = self._fields.get(name)
+        if not isinstance(value, np.ndarray):
+            raise EngineError(f"state field {name!r} is not an array")
+        return value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deep copy of all fields (for tests and checkpointing)."""
+        return {
+            name: value.copy() if isinstance(value, np.ndarray) else value
+            for name, value in self._fields.items()
+        }

@@ -1,0 +1,360 @@
+"""SympleGraph engine: circulant scheduling + dependency propagation.
+
+The paper's core runtime (Section 5).  A dense pull iteration is split
+into ``p`` steps.  In step ``s`` machine ``m`` processes the in-edges it
+stores whose destination masters live on machine ``(m + s + 1) % p`` —
+the subgraph ``[m, (m+s+1)%p]`` in Figure 7's matrix view.  Every
+destination partition is therefore scanned by exactly one machine per
+step, and across steps its in-edges are processed *sequentially* in a
+fixed machine order, finishing on the master's own machine.
+
+At each step boundary a machine sends the dependency state of the
+partition it just processed to the machine on its left (the one that
+will process that partition next): the control bitmap plus any carried
+data (K-core's running count, sampling's prefix sum).  A vertex whose
+bit is set is skipped outright by all following machines — eliminating
+the redundant computation and update communication that Gemini incurs.
+
+Optimizations (Sections 5.2-5.3), all individually toggleable for the
+Figure 11 ablation:
+
+* ``differentiated``: only vertices with in-degree >= threshold take
+  part in dependency propagation; low-degree vertices fall back to the
+  Gemini schedule (their savings wouldn't pay for the messages).
+* ``double_buffering``: each step's dependency ships in two halves so
+  transfer overlaps compute — a timing-model effect (bytes unchanged).
+* ``schedule="naive"``: enforce sequentiality without circulant
+  scheduling (one machine active at a time) — the strawman circulant
+  scheduling exists to beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.engine.base import (
+    BaseEngine,
+    CountingNeighbors,
+    PullResult,
+    SignalLike,
+    _UpdateBuffer,
+)
+from repro.engine.dep import DepStore
+from repro.engine.state import StateStore
+from repro.errors import EngineError
+from repro.partition.base import Partition
+from repro.runtime.bitmap import Bitmap
+from repro.runtime.cost_model import SYMPLE_COST, CostModel
+from repro.runtime.counters import IterationRecord, StepRecord
+
+__all__ = ["SympleGraphEngine", "SympleOptions", "circulant_partition", "circulant_machine_order"]
+
+# The paper selects its production threshold (32) by sweeping powers
+# of two on 1-4 billion-edge graphs (Section 6).  At this repo's ~1000x
+# smaller graphs the same sweep (benchmarks/bench_ablation_threshold)
+# selects a proportionally smaller value.
+DEFAULT_DEGREE_THRESHOLD = 4
+
+
+@dataclass
+class SympleOptions:
+    """Feature switches for the SympleGraph runtime.
+
+    ``dep_loss_rate`` injects failures: each control-bit read misses
+    with that probability, as if a machine started its step before the
+    dependency message arrived.  Section 5.1: "if a machine does not
+    wait for receiving the full dependency communication ... the
+    correctness is not compromised.  With incomplete information, the
+    framework will just miss some opportunities" — results must stay
+    identical while savings shrink; the failure-injection tests assert
+    exactly that.
+    """
+
+    degree_threshold: int = DEFAULT_DEGREE_THRESHOLD
+    differentiated: bool = True
+    double_buffering: bool = True
+    schedule: str = "circulant"
+    dep_loss_rate: float = 0.0
+    dep_loss_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.schedule not in ("circulant", "naive"):
+            raise EngineError(f"unknown schedule {self.schedule!r}")
+        if self.degree_threshold < 0:
+            raise EngineError("degree_threshold must be non-negative")
+        if not 0.0 <= self.dep_loss_rate <= 1.0:
+            raise EngineError("dep_loss_rate must be a probability")
+
+
+def circulant_partition(machine: int, step: int, num_machines: int) -> int:
+    """Destination partition machine ``machine`` processes at ``step``."""
+    return (machine + step + 1) % num_machines
+
+
+def circulant_machine_order(partition_id: int, num_machines: int) -> List[int]:
+    """Machines that process ``partition_id``'s in-edges, in step order.
+
+    The sequence ends with the partition's own (master) machine, so the
+    final dependency state lands where the masters live.
+    """
+    return [
+        (partition_id - 1 - s) % num_machines for s in range(num_machines)
+    ]
+
+
+class SympleGraphEngine(BaseEngine):
+    """Distributed engine with precise loop-carried dependency."""
+
+    kind = "symple"
+    cost_kind = "symple"
+    supports_dependency = True
+
+    def __init__(
+        self,
+        partition: Partition,
+        options: Optional[SympleOptions] = None,
+        cost_model: CostModel = SYMPLE_COST,
+    ) -> None:
+        super().__init__(partition, cost_model)
+        self.options = options or SympleOptions()
+        if self.options.differentiated:
+            self._high_mask = (
+                partition.graph.in_degrees() >= self.options.degree_threshold
+            )
+        else:
+            self._high_mask = np.ones(partition.graph.num_vertices, dtype=bool)
+
+    # -- pull ---------------------------------------------------------------
+
+    def pull(
+        self,
+        signal: SignalLike,
+        slot: Callable,
+        state: StateStore,
+        active: np.ndarray,
+        update_bytes: int = 8,
+        sync_bytes: int = 8,
+        dep_data_bytes: int = 4,
+        allow_differentiated: bool = True,
+        share_dep_data: bool = True,
+    ) -> PullResult:
+        """Dense pull: circulant scheduling with dependency propagation
+        when the signal carries one, Gemini-style parallel otherwise."""
+        active_idx = self._check_active(active)
+        analyzed = self.ensure_analyzed(signal)
+        if not analyzed.has_dependency or self.num_machines == 1:
+            # No loop-carried dependency: Gemini is the special case of
+            # SympleGraph without dependency communication (Section 5.1).
+            return self._pull_parallel(
+                analyzed, slot, state, active_idx, update_bytes, sync_bytes
+            )
+        return self._pull_circulant(
+            analyzed,
+            slot,
+            state,
+            active_idx,
+            update_bytes,
+            sync_bytes,
+            dep_data_bytes,
+            allow_differentiated,
+            share_dep_data,
+        )
+
+    def _pull_parallel(
+        self,
+        analyzed,
+        slot: Callable,
+        state: StateStore,
+        active_idx: np.ndarray,
+        update_bytes: int,
+        sync_bytes: int,
+    ) -> PullResult:
+        """Gemini-style parallel pull (no dependency to enforce)."""
+        fn = analyzed.original
+        master_of = self.partition.master_of
+        record = IterationRecord(mode="pull")
+        step = StepRecord(self.num_machines)
+        buffer = _UpdateBuffer()
+        for m in range(self.num_machines):
+            local = self.partition.local_in(m)
+            for v in self._active_candidates(active_idx, m):
+                v = int(v)
+                nbrs = CountingNeighbors(local.neighbors(v))
+                emitted: list = []
+                fn(v, nbrs, state, emitted.append)
+                step.high_edges[m] += nbrs.count
+                step.high_vertices[m] += 1
+                if not emitted:
+                    continue
+                master = int(master_of[v])
+                if master != m:
+                    nbytes = update_bytes * len(emitted)
+                    self.network.send(m, master, "update", nbytes)
+                    step.update_bytes[m] += nbytes
+                for value in emitted:
+                    buffer.add(v, value)
+        changed, applied = buffer.apply(slot, state)
+        record.steps = [step]
+        self._count_sync(changed, sync_bytes, record)
+        self.counters.add_iteration(record)
+        self.counters.add_edges(int(step.high_edges.sum()))
+        self.counters.add_vertices(int(step.high_vertices.sum()))
+        return PullResult(changed, applied, int(step.high_edges.sum()))
+
+    def _pull_circulant(
+        self,
+        analyzed,
+        slot: Callable,
+        state: StateStore,
+        active_idx: np.ndarray,
+        update_bytes: int,
+        sync_bytes: int,
+        dep_data_bytes: int,
+        allow_differentiated: bool,
+        share_dep_data: bool,
+    ) -> PullResult:
+        p = self.num_machines
+        master_of = self.partition.master_of
+        dep_store = DepStore(
+            self.graph.num_vertices,
+            analyzed.info.carried_vars,
+            share_data=share_dep_data,
+        )
+        has_data = bool(analyzed.info.carried_vars) and share_dep_data
+        instrumented = analyzed.instrumented
+        original = analyzed.original
+        if allow_differentiated:
+            high_mask = self._high_mask
+        else:
+            high_mask = np.ones(self.graph.num_vertices, dtype=bool)
+
+        active_mask = np.zeros(self.graph.num_vertices, dtype=bool)
+        active_mask[active_idx] = True
+        loss_rng = (
+            np.random.default_rng(self.options.dep_loss_seed)
+            if self.options.dep_loss_rate > 0.0
+            else None
+        )
+
+        # Pre-split each machine's candidate list by destination partition.
+        record = IterationRecord(mode="pull")
+        buffer = _UpdateBuffer()
+        steps: List[StepRecord] = []
+        total_edges = 0
+
+        for s in range(p):
+            step = StepRecord(p)
+            for m in range(p):
+                j = circulant_partition(m, s, p)
+                local = self.partition.local_in(m)
+                degs = local.degrees()
+                cand = active_idx[
+                    (master_of[active_idx] == j) & (degs[active_idx] > 0)
+                ]
+                is_last = s == p - 1
+                for v in cand:
+                    v = int(v)
+                    emitted: list = []
+                    if high_mask[v]:
+                        handle = dep_store.handle(v, is_last=is_last)
+                        if dep_store.skip[v]:
+                            # Failure injection: with probability
+                            # dep_loss_rate this machine started before
+                            # the control bit arrived and processes the
+                            # vertex blind — losing savings, never
+                            # correctness.  Only control-only UDFs are
+                            # eligible (a lost *data* dependency is not
+                            # an incomplete-information case).
+                            lost = (
+                                loss_rng is not None
+                                and not has_data
+                                and loss_rng.random()
+                                < self.options.dep_loss_rate
+                            )
+                            if not lost:
+                                continue
+                            handle = dep_store.blind_handle(
+                                v, is_last=is_last
+                            )
+                        nbrs = CountingNeighbors(local.neighbors(v))
+                        instrumented(
+                            v,
+                            nbrs,
+                            state,
+                            emitted.append,
+                            handle,
+                        )
+                        step.high_edges[m] += nbrs.count
+                        step.high_vertices[m] += 1
+                    else:
+                        nbrs = CountingNeighbors(local.neighbors(v))
+                        original(v, nbrs, state, emitted.append)
+                        step.low_edges[m] += nbrs.count
+                        step.low_vertices[m] += 1
+                    if not emitted:
+                        continue
+                    master = int(master_of[v])
+                    if master != m:
+                        nbytes = update_bytes * len(emitted)
+                        self.network.send(m, master, "update", nbytes)
+                        step.update_bytes[m] += nbytes
+                    for value in emitted:
+                        buffer.add(v, value)
+
+                # Dependency hand-off to the machine on the left
+                # (skipped after the final step: the master now holds
+                # the complete state locally).
+                if s < p - 1:
+                    part_vertices = active_idx[
+                        (master_of[active_idx] == j) & high_mask[active_idx]
+                    ]
+                    if part_vertices.size:
+                        # Control bits travel as a packed bitmap; carried
+                        # data travels as the SoA array slice for every
+                        # circulated vertex (Section 6's layout) — this
+                        # is why sampling's dependency traffic is large
+                        # while BFS/MIS pay one bit per vertex.
+                        bits = Bitmap.wire_bytes(part_vertices.size)
+                        data = 0
+                        if has_data:
+                            data = (
+                                part_vertices.size
+                                * dep_data_bytes
+                                * len(analyzed.info.carried_vars)
+                            )
+                        nbytes = bits + data
+                        left = (m - 1) % p
+                        self.network.send(m, left, "dep", nbytes)
+                        step.dep_bytes[m] += nbytes
+            steps.append(step)
+            total_edges += step.total_edges()
+
+        changed, applied = buffer.apply(slot, state)
+        record.steps = steps
+        self._count_sync(changed, sync_bytes, record)
+        self.counters.add_iteration(record)
+        self.counters.add_edges(total_edges)
+        self.counters.add_vertices(
+            int(
+                sum(
+                    st.high_vertices.sum() + st.low_vertices.sum()
+                    for st in steps
+                )
+            )
+        )
+        return PullResult(changed, applied, total_edges)
+
+    # -- timing ---------------------------------------------------------------
+
+    def execution_time(self, cost_model: Optional[CostModel] = None) -> float:
+        """Simulated time, honoring this engine's schedule/DB options."""
+        model = cost_model or self.default_cost
+        return model.execution_time(
+            self.counters,
+            "symple",
+            double_buffering=self.options.double_buffering,
+            schedule=self.options.schedule,
+        )

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the sub-domains (graph construction, partitioning,
+UDF analysis, runtime execution).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or access (bad vertex ids, bad shapes)."""
+
+
+class PartitionError(ReproError):
+    """Invalid or inconsistent graph partition."""
+
+
+class AnalysisError(ReproError):
+    """UDF analysis failed (unsupported construct, no neighbor loop...)."""
+
+
+class InstrumentationError(AnalysisError):
+    """UDF instrumentation (source-to-source transform) failed."""
+
+
+class EngineError(ReproError):
+    """Distributed engine execution failed or was misconfigured."""
+
+
+class ConvergenceError(EngineError):
+    """An iterative algorithm exceeded its iteration budget."""
+
+
+class UnsupportedAlgorithmError(EngineError):
+    """The engine cannot run this algorithm (e.g. sampling on D-Galois,
+    which the paper also reports as N/A in Table 4)."""

@@ -1,0 +1,71 @@
+"""Graph substrate: CSR container, builders, generators, transforms, IO."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    attach_chain,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_weights,
+    rmat,
+    star_graph,
+)
+from repro.graph.io import (
+    load_edge_list,
+    load_metis,
+    load_npz,
+    save_edge_list,
+    save_metis,
+    save_npz,
+)
+from repro.graph.properties import (
+    DegreeSummary,
+    average_degree,
+    degree_summary,
+    high_degree_ratio,
+    is_symmetric,
+    isolated_vertices,
+)
+from repro.graph.transform import (
+    add_reverse_edges,
+    induced_subgraph,
+    relabel,
+    remove_self_loops,
+    to_undirected,
+    with_vertex_weights,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "rmat",
+    "erdos_renyi",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "attach_chain",
+    "random_weights",
+    "load_edge_list",
+    "save_edge_list",
+    "load_npz",
+    "save_npz",
+    "load_metis",
+    "save_metis",
+    "DegreeSummary",
+    "degree_summary",
+    "high_degree_ratio",
+    "isolated_vertices",
+    "is_symmetric",
+    "average_degree",
+    "add_reverse_edges",
+    "to_undirected",
+    "relabel",
+    "induced_subgraph",
+    "remove_self_loops",
+    "with_vertex_weights",
+]

@@ -1,0 +1,95 @@
+"""Incremental graph builder.
+
+:class:`CSRGraph` is immutable; :class:`GraphBuilder` accumulates edges
+(with optional weights) and materializes the CSR form once, optionally
+deduplicating parallel edges and dropping self-loops the way the paper's
+pre-processing does for the evaluation graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulate edges and build an immutable :class:`CSRGraph`."""
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self.num_vertices = num_vertices
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._weights: list[float] = []
+        self._weighted: Optional[bool] = None
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def add_edge(self, src: int, dst: int, weight: Optional[float] = None) -> "GraphBuilder":
+        """Add one directed edge; returns self for chaining."""
+        if not 0 <= src < self.num_vertices:
+            raise GraphError(f"source {src} out of range")
+        if not 0 <= dst < self.num_vertices:
+            raise GraphError(f"destination {dst} out of range")
+        has_weight = weight is not None
+        if self._weighted is None:
+            self._weighted = has_weight
+        elif self._weighted != has_weight:
+            raise GraphError("cannot mix weighted and unweighted edges")
+        self._src.append(src)
+        self._dst.append(dst)
+        if has_weight:
+            self._weights.append(float(weight))
+        return self
+
+    def add_undirected_edge(
+        self, a: int, b: int, weight: Optional[float] = None
+    ) -> "GraphBuilder":
+        """Add both directions of an undirected edge."""
+        self.add_edge(a, b, weight)
+        self.add_edge(b, a, weight)
+        return self
+
+    def build(
+        self,
+        dedup: bool = False,
+        drop_self_loops: bool = False,
+    ) -> CSRGraph:
+        """Materialize the CSR graph.
+
+        Parameters
+        ----------
+        dedup:
+            Collapse parallel edges (keeping the first weight seen).
+        drop_self_loops:
+            Remove edges ``v -> v``.
+        """
+        src = np.asarray(self._src, dtype=np.int64)
+        dst = np.asarray(self._dst, dtype=np.int64)
+        weights = (
+            np.asarray(self._weights, dtype=np.float64) if self._weighted else None
+        )
+
+        if drop_self_loops and src.size:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+            if weights is not None:
+                weights = weights[keep]
+
+        if dedup and src.size:
+            keys = src * self.num_vertices + dst
+            _, first = np.unique(keys, return_index=True)
+            first.sort()
+            src, dst = src[first], dst[first]
+            if weights is not None:
+                weights = weights[first]
+
+        return CSRGraph(self.num_vertices, src, dst, weights)

@@ -1,0 +1,196 @@
+"""Synthetic graph generators.
+
+The paper evaluates on R-MAT graphs generated with the Graph500
+parameters (a=0.57, b=0.19, c=0.19, d=0.05) plus four real-world social
+and web graphs.  Without access to Twitter-2010 / Friendster /
+Clueweb-12 / Gsh-2015, the dataset registry (``repro.bench.datasets``)
+substitutes degree-matched R-MAT instances produced here.
+
+All generators take an explicit ``seed`` so experiments are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "rmat",
+    "erdos_renyi",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "attach_chain",
+    "random_weights",
+]
+
+# Graph500 R-MAT probabilities.
+GRAPH500_A = 0.57
+GRAPH500_B = 0.19
+GRAPH500_C = 0.19
+GRAPH500_D = 0.05
+
+
+def _rmat_edges(
+    scale: int,
+    num_edges: int,
+    a: float,
+    b: float,
+    c: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized recursive-matrix edge placement (Chakrabarti et al.)."""
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for level in range(scale):
+        r = rng.random(num_edges)
+        right = r >= ab  # quadrant c or d: dst bit set
+        lower = (r >= a) & (r < ab) | (r >= abc)  # quadrant b or d: src bit
+        src |= lower.astype(np.int64) << level
+        dst |= right.astype(np.int64) << level
+    return src, dst
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = GRAPH500_A,
+    b: float = GRAPH500_B,
+    c: float = GRAPH500_C,
+    seed: int = 0,
+    permute: bool = True,
+) -> CSRGraph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters follow the Graph500 specification: ``edge_factor`` edges
+    per vertex are placed by recursive-matrix quadrant selection with
+    probabilities ``(a, b, c, 1-a-b-c)``.  Vertex ids are randomly
+    permuted (as Graph500 requires) unless ``permute=False``.
+    """
+    if scale < 0 or scale > 30:
+        raise GraphError("scale must be in [0, 30] for in-memory generation")
+    if not 0 < a + b + c < 1:
+        raise GraphError("R-MAT probabilities must satisfy 0 < a+b+c < 1")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src, dst = _rmat_edges(scale, m, a, b, c, rng)
+    if permute:
+        perm = rng.permutation(n)
+        src, dst = perm[src], perm[dst]
+    return CSRGraph(n, src, dst)
+
+
+def erdos_renyi(
+    num_vertices: int, num_edges: int, seed: int = 0
+) -> CSRGraph:
+    """Uniform random directed multigraph G(n, m)."""
+    if num_vertices <= 0 and num_edges > 0:
+        raise GraphError("cannot place edges in an empty graph")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, num_edges, dtype=np.int64)
+    return CSRGraph(num_vertices, src, dst)
+
+
+def path_graph(num_vertices: int, directed: bool = False) -> CSRGraph:
+    """Path 0 - 1 - ... - (n-1)."""
+    if num_vertices == 0:
+        return CSRGraph(0, np.empty(0, np.int64), np.empty(0, np.int64))
+    fwd = np.arange(num_vertices - 1, dtype=np.int64)
+    src, dst = fwd, fwd + 1
+    if not directed:
+        src = np.concatenate([src, fwd + 1])
+        dst = np.concatenate([dst, fwd])
+    return CSRGraph(num_vertices, src, dst)
+
+
+def cycle_graph(num_vertices: int, directed: bool = False) -> CSRGraph:
+    """Cycle 0 - 1 - ... - (n-1) - 0."""
+    if num_vertices == 0:
+        return CSRGraph(0, np.empty(0, np.int64), np.empty(0, np.int64))
+    idx = np.arange(num_vertices, dtype=np.int64)
+    nxt = (idx + 1) % num_vertices
+    src, dst = idx, nxt
+    if not directed:
+        src = np.concatenate([src, nxt])
+        dst = np.concatenate([dst, idx])
+    return CSRGraph(num_vertices, src, dst)
+
+
+def star_graph(num_leaves: int) -> CSRGraph:
+    """Undirected star: hub 0 connected to leaves 1..num_leaves."""
+    hub = np.zeros(num_leaves, dtype=np.int64)
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    src = np.concatenate([hub, leaves])
+    dst = np.concatenate([leaves, hub])
+    return CSRGraph(num_leaves + 1, src, dst)
+
+
+def complete_graph(num_vertices: int) -> CSRGraph:
+    """All ordered pairs (u, v), u != v."""
+    idx = np.arange(num_vertices, dtype=np.int64)
+    src = np.repeat(idx, num_vertices)
+    dst = np.tile(idx, num_vertices)
+    keep = src != dst
+    return CSRGraph(num_vertices, src[keep], dst[keep])
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """Undirected 2-D grid, vertex ``r * cols + c``."""
+    edges_src = []
+    edges_dst = []
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    # horizontal
+    if cols > 1:
+        edges_src.append(idx[:, :-1].ravel())
+        edges_dst.append(idx[:, 1:].ravel())
+    # vertical
+    if rows > 1:
+        edges_src.append(idx[:-1, :].ravel())
+        edges_dst.append(idx[1:, :].ravel())
+    if not edges_src:
+        return CSRGraph(rows * cols, np.empty(0, np.int64), np.empty(0, np.int64))
+    src = np.concatenate(edges_src)
+    dst = np.concatenate(edges_dst)
+    return CSRGraph(
+        rows * cols,
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+    )
+
+
+def attach_chain(graph: CSRGraph, chain_length: int) -> CSRGraph:
+    """Attach an undirected chain to vertex 0 of ``graph``.
+
+    Models the structure the paper notes for real social graphs: a
+    small-diameter core with a long link structure attached (Section
+    7.2), which makes the linear-peel K-core competitive on ``tw``/``fr``
+    but not on the pure R-MAT graphs.
+    """
+    n = graph.num_vertices
+    src, dst = graph.edge_array()
+    chain = np.arange(chain_length, dtype=np.int64) + n
+    prev = np.concatenate([[0], chain[:-1]])
+    new_src = np.concatenate([src, prev, chain])
+    new_dst = np.concatenate([dst, chain, prev])
+    return CSRGraph(n + chain_length, new_src, new_dst)
+
+
+def random_weights(
+    graph: CSRGraph, seed: int = 0, low: float = 0.0, high: float = 1.0
+) -> CSRGraph:
+    """Return a copy of ``graph`` with uniform random edge weights."""
+    rng = np.random.default_rng(seed)
+    src, dst = graph.edge_array()
+    weights = rng.uniform(low, high, size=src.size)
+    return CSRGraph(graph.num_vertices, src, dst, weights)

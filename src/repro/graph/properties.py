@@ -1,0 +1,79 @@
+"""Structural graph properties and statistics.
+
+These back the dataset registry (degree-skew summaries such as the
+paper's |V'|/|V| high-degree ratio in Table 1) and several tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "high_degree_ratio",
+    "isolated_vertices",
+    "is_symmetric",
+    "average_degree",
+]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary statistics of a degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    p99: float
+
+
+def degree_summary(graph: CSRGraph, direction: str = "out") -> DegreeSummary:
+    """Summarize the out- or in-degree distribution."""
+    if direction == "out":
+        deg = graph.out_degrees()
+    elif direction == "in":
+        deg = graph.in_degrees()
+    else:
+        raise ValueError("direction must be 'out' or 'in'")
+    if deg.size == 0:
+        return DegreeSummary(0, 0, 0.0, 0.0, 0.0)
+    return DegreeSummary(
+        minimum=int(deg.min()),
+        maximum=int(deg.max()),
+        mean=float(deg.mean()),
+        median=float(np.median(deg)),
+        p99=float(np.percentile(deg, 99)),
+    )
+
+
+def high_degree_ratio(graph: CSRGraph, threshold: int = 32) -> float:
+    """Fraction of vertices with in-degree >= threshold (Table 1's |V'|/|V|)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return float(np.mean(graph.in_degrees() >= threshold))
+
+
+def isolated_vertices(graph: CSRGraph) -> np.ndarray:
+    """Vertices with no incident edge in either direction."""
+    deg = graph.out_degrees() + graph.in_degrees()
+    return np.flatnonzero(deg == 0)
+
+
+def is_symmetric(graph: CSRGraph) -> bool:
+    """True if for every edge (u, v) the reverse (v, u) also exists."""
+    src, dst = graph.edge_array()
+    fwd = set(zip(src.tolist(), dst.tolist()))
+    return all((v, u) in fwd for u, v in fwd)
+
+
+def average_degree(graph: CSRGraph) -> float:
+    """Edges per vertex (the paper's 'edge factor')."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return graph.num_edges / graph.num_vertices

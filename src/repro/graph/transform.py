@@ -1,0 +1,97 @@
+"""Graph transformations.
+
+The paper's pre-processing (Section 7.1): directed datasets are
+symmetrized to run undirected algorithms, and undirected datasets gain
+reverse edges to run directed algorithms.  We also provide relabeling
+and subgraph extraction used by the partitioners and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "add_reverse_edges",
+    "to_undirected",
+    "relabel",
+    "induced_subgraph",
+    "remove_self_loops",
+    "with_vertex_weights",
+]
+
+
+def add_reverse_edges(graph: CSRGraph) -> CSRGraph:
+    """Add the reverse of every edge (duplicates possible)."""
+    src, dst = graph.edge_array()
+    weights = None
+    if graph.is_weighted:
+        weights = np.concatenate([_sorted_weights(graph)] * 2)
+    return CSRGraph(
+        graph.num_vertices,
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        weights,
+    )
+
+
+def to_undirected(graph: CSRGraph) -> CSRGraph:
+    """Symmetrize: keep one copy of each direction, deduplicated."""
+    src, dst = graph.edge_array()
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    keys = all_src * graph.num_vertices + all_dst
+    _, first = np.unique(keys, return_index=True)
+    return CSRGraph(graph.num_vertices, all_src[first], all_dst[first])
+
+
+def relabel(graph: CSRGraph, mapping: Sequence[int]) -> CSRGraph:
+    """Apply a vertex permutation: new id of v is ``mapping[v]``."""
+    perm = np.asarray(mapping, dtype=np.int64)
+    if perm.shape != (graph.num_vertices,):
+        raise GraphError("mapping must cover every vertex exactly once")
+    if np.unique(perm).size != graph.num_vertices:
+        raise GraphError("mapping must be a permutation")
+    src, dst = graph.edge_array()
+    weights = _sorted_weights(graph) if graph.is_weighted else None
+    return CSRGraph(graph.num_vertices, perm[src], perm[dst], weights)
+
+
+def induced_subgraph(graph: CSRGraph, vertices: Sequence[int]) -> CSRGraph:
+    """Subgraph induced by ``vertices`` (relabeled to 0..k-1 in order)."""
+    verts = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+    if verts.size and (verts[0] < 0 or verts[-1] >= graph.num_vertices):
+        raise GraphError("subgraph vertex out of range")
+    new_id = -np.ones(graph.num_vertices, dtype=np.int64)
+    new_id[verts] = np.arange(verts.size)
+    src, dst = graph.edge_array()
+    keep = (new_id[src] >= 0) & (new_id[dst] >= 0)
+    weights = _sorted_weights(graph)[keep] if graph.is_weighted else None
+    return CSRGraph(verts.size, new_id[src[keep]], new_id[dst[keep]], weights)
+
+
+def remove_self_loops(graph: CSRGraph) -> CSRGraph:
+    """Drop every edge ``v -> v``."""
+    src, dst = graph.edge_array()
+    keep = src != dst
+    weights = _sorted_weights(graph)[keep] if graph.is_weighted else None
+    return CSRGraph(graph.num_vertices, src[keep], dst[keep], weights)
+
+
+def with_vertex_weights(
+    num_vertices: int, seed: int = 0, low: float = 0.1, high: float = 1.0
+) -> np.ndarray:
+    """Uniform random per-vertex weights (used by graph sampling)."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=num_vertices)
+
+
+def _sorted_weights(graph: CSRGraph) -> np.ndarray:
+    """Edge weights in the same (src-sorted) order as edge_array()."""
+    if graph.out_weights is None:
+        raise GraphError("graph is unweighted")
+    return graph.out_weights

@@ -1,0 +1,25 @@
+"""Graph partitioning: master/mirror placement strategies."""
+
+from repro.partition.base import LocalAdjacency, Partition, Partitioner
+from repro.partition.chunking import balanced_chunks, chunk_of
+from repro.partition.edge_cut import IncomingEdgeCut, OutgoingEdgeCut
+from repro.partition.hybrid import HybridCut
+from repro.partition.vertex_cut import (
+    CartesianVertexCut,
+    HashVertexCut,
+    grid_shape,
+)
+
+__all__ = [
+    "LocalAdjacency",
+    "Partition",
+    "Partitioner",
+    "balanced_chunks",
+    "chunk_of",
+    "OutgoingEdgeCut",
+    "IncomingEdgeCut",
+    "HybridCut",
+    "HashVertexCut",
+    "CartesianVertexCut",
+    "grid_shape",
+]

@@ -1,0 +1,104 @@
+"""Simulated interconnect with per-pair byte accounting.
+
+Stands in for the paper's MPI/RDMA fabric.  Engines call
+:meth:`SimulatedNetwork.send` for every remote transfer; the network
+records bytes and message counts per (source, destination, tag) so the
+communication tables can be regenerated and the cost model can price
+transfers.  Local (same-machine) transfers are free and not recorded,
+matching how the paper counts communication volume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.runtime.counters import COMM_TAGS, Counters
+
+__all__ = ["SimulatedNetwork"]
+
+
+class SimulatedNetwork:
+    """Byte/message accounting fabric between simulated machines.
+
+    With ``trace=True`` every remote transfer is additionally appended
+    to :attr:`log` as a ``(src, dst, tag, bytes)`` tuple (bounded by
+    ``trace_limit``) — a debugging aid for protocol work, off by
+    default to keep long runs cheap.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        counters: Counters | None = None,
+        trace: bool = False,
+        trace_limit: int = 100_000,
+    ) -> None:
+        if num_machines <= 0:
+            raise EngineError("a network needs at least one machine")
+        self.num_machines = num_machines
+        self.counters = counters if counters is not None else Counters(num_machines)
+        # traffic[tag][src, dst] = bytes
+        self.traffic: Dict[str, np.ndarray] = {
+            tag: np.zeros((num_machines, num_machines), dtype=np.int64)
+            for tag in COMM_TAGS
+        }
+        self.message_counts: Dict[str, np.ndarray] = {
+            tag: np.zeros((num_machines, num_machines), dtype=np.int64)
+            for tag in COMM_TAGS
+        }
+        self.trace = trace
+        self.trace_limit = trace_limit
+        self.log: list[Tuple[int, int, str, int]] = []
+        self.dropped_log_entries = 0
+
+    def send(
+        self, src: int, dst: int, tag: str, nbytes: int, messages: int = 1
+    ) -> None:
+        """Record a transfer.  Same-machine transfers are free."""
+        if tag not in self.traffic:
+            raise EngineError(f"unknown communication tag {tag!r}")
+        if not (0 <= src < self.num_machines and 0 <= dst < self.num_machines):
+            raise EngineError(f"machine out of range: {src} -> {dst}")
+        if nbytes < 0:
+            raise EngineError("cannot send a negative number of bytes")
+        if src == dst:
+            return
+        self.traffic[tag][src, dst] += int(nbytes)
+        self.message_counts[tag][src, dst] += int(messages)
+        self.counters.add_bytes(tag, nbytes, messages)
+        if self.trace:
+            if len(self.log) < self.trace_limit:
+                self.log.append((src, dst, tag, int(nbytes)))
+            else:
+                self.dropped_log_entries += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def bytes_sent(self, tag: str | None = None) -> int:
+        if tag is not None:
+            return int(self.traffic[tag].sum())
+        return int(sum(matrix.sum() for matrix in self.traffic.values()))
+
+    def bytes_between(self, src: int, dst: int) -> int:
+        return int(sum(matrix[src, dst] for matrix in self.traffic.values()))
+
+    def per_machine_sent(self, tag: str | None = None) -> np.ndarray:
+        """Bytes sent by each machine (row sums)."""
+        if tag is not None:
+            return self.traffic[tag].sum(axis=1)
+        return sum(matrix.sum(axis=1) for matrix in self.traffic.values())
+
+    def per_machine_received(self, tag: str | None = None) -> np.ndarray:
+        if tag is not None:
+            return self.traffic[tag].sum(axis=0)
+        return sum(matrix.sum(axis=0) for matrix in self.traffic.values())
+
+    def busiest_pair(self) -> Tuple[int, int, int]:
+        """(src, dst, bytes) of the most loaded link."""
+        total = sum(self.traffic.values())
+        idx = int(np.argmax(total))
+        src, dst = divmod(idx, self.num_machines)
+        return src, dst, int(total[src, dst])

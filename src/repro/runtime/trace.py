@@ -1,0 +1,121 @@
+"""Schedule tracing and visualization.
+
+Renders the circulant schedule as the machine x step matrix of
+Figure 7, and extracts per-machine step timelines from the cost model's
+discrete-event recursion — useful for understanding where dependency
+waits occur and what double buffering hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.runtime.cost_model import CostModel
+from repro.runtime.counters import IterationRecord
+
+__all__ = ["schedule_matrix", "render_schedule", "StepTimeline", "step_timeline"]
+
+
+def schedule_matrix(num_machines: int) -> np.ndarray:
+    """Matrix ``M[machine, step] = partition processed`` (Figure 7b)."""
+    p = num_machines
+    matrix = np.zeros((p, p), dtype=np.int64)
+    for m in range(p):
+        for s in range(p):
+            matrix[m, s] = (m + s + 1) % p
+    return matrix
+
+
+def render_schedule(num_machines: int) -> str:
+    """ASCII rendering of the circulant schedule."""
+    matrix = schedule_matrix(num_machines)
+    p = num_machines
+    width = max(3, len(str(p - 1)) + 1)
+    header = "      " + "".join(f"s{s}".rjust(width) for s in range(p))
+    lines = [header]
+    for m in range(p):
+        cells = "".join(f"P{matrix[m, s]}".rjust(width) for s in range(p))
+        lines.append(f"M{m}".ljust(6) + cells)
+    lines.append(
+        "each column is a permutation: machines process disjoint "
+        "partitions per step"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class StepTimeline:
+    """Per-machine start/finish instants of each circulant step."""
+
+    start: np.ndarray  # (steps, machines)
+    finish: np.ndarray  # (steps, machines)
+
+    @property
+    def makespan(self) -> float:
+        return float(self.finish[-1].max()) if self.finish.size else 0.0
+
+    def wait_time(self) -> np.ndarray:
+        """Idle time per machine: gaps between consecutive steps."""
+        if self.start.shape[0] <= 1:
+            return np.zeros(self.start.shape[1])
+        gaps = self.start[1:] - self.finish[:-1]
+        return gaps.clip(min=0.0).sum(axis=0)
+
+
+def step_timeline(
+    record: IterationRecord,
+    cost_model: CostModel,
+    double_buffering: bool = True,
+) -> StepTimeline:
+    """Replay the cost model's recursion, keeping the full timeline.
+
+    Mirrors :meth:`CostModel.symple_iteration_time` step by step; the
+    iteration-wide terms (update tail, barrier, sync) are not part of
+    the per-step timeline.
+    """
+    steps = record.steps
+    if not steps:
+        return StepTimeline(np.zeros((0, 0)), np.zeros((0, 0)))
+    p = steps[0].num_machines
+
+    finish = np.zeros(p)
+    prev_send_a = np.full(p, -np.inf)
+    prev_send_b = np.full(p, -np.inf)
+    prev_dep = np.zeros(p)
+    starts: List[np.ndarray] = []
+    finishes: List[np.ndarray] = []
+
+    for step in steps:
+        c_high = cost_model.compute_time(step.high_edges, step.high_vertices)
+        c_low = cost_model.compute_time(step.low_edges, step.low_vertices)
+        right = (np.arange(p) + 1) % p
+        arrive_a = prev_send_a[right] + cost_model.transfer_time(
+            prev_dep[right] / 2.0
+        ) + np.where(np.isfinite(prev_send_a[right]), cost_model.latency, 0.0)
+        arrive_b = prev_send_b[right] + cost_model.transfer_time(
+            prev_dep[right] / 2.0
+        ) + np.where(np.isfinite(prev_send_b[right]), cost_model.latency, 0.0)
+
+        has_work = (c_high + c_low) > 0
+        t0 = finish + np.where(has_work, cost_model.step_overhead, 0.0)
+        t_low = t0 + c_low
+        if double_buffering:
+            start_a = np.maximum(t_low, arrive_a)
+            t_a = start_a + c_high / 2.0
+            start_b = np.maximum(t_a, arrive_b)
+            t_b = start_b + c_high / 2.0
+            send_a, send_b = t_a, t_b
+        else:
+            start_a = np.maximum(t_low, arrive_b)
+            t_b = start_a + c_high
+            send_a = send_b = t_b
+        starts.append(t0)
+        finishes.append(t_b)
+        finish = t_b
+        prev_send_a, prev_send_b = send_a, send_b
+        prev_dep = np.asarray(step.dep_bytes, dtype=np.float64)
+
+    return StepTimeline(np.stack(starts), np.stack(finishes))

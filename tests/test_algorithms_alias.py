@@ -1,0 +1,117 @@
+"""Alias-method sampling: construction invariants and distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import sample_neighbors
+from repro.algorithms.alias import (
+    AliasTable,
+    build_alias_tables,
+    sample_neighbors_alias,
+)
+from repro.engine import make_engine
+from repro.errors import GraphError
+from repro.graph import rmat, star_graph, to_undirected, with_vertex_weights
+
+
+class TestAliasTableConstruction:
+    def test_uniform_weights_full_acceptance(self):
+        table = AliasTable.build([10, 11, 12], [1.0, 1.0, 1.0])
+        assert np.allclose(table.prob, 1.0)
+
+    def test_probabilities_in_range(self):
+        table = AliasTable.build([0, 1, 2, 3], [0.1, 0.5, 2.0, 9.0])
+        assert np.all(table.prob >= 0.0)
+        assert np.all(table.prob <= 1.0 + 1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            AliasTable.build([], [])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(GraphError):
+            AliasTable.build([0, 1], [1.0, 0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            AliasTable.build([0, 1], [1.0])
+
+    @given(
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_expected_mass_preserved(self, weights):
+        """Sum over slots of each item's selection probability equals
+        its normalized weight — the defining alias-table invariant."""
+        items = list(range(len(weights)))
+        table = AliasTable.build(items, weights)
+        n = len(items)
+        mass = np.zeros(n)
+        for slot in range(n):
+            mass[slot] += table.prob[slot] / n
+            mass[table.alias[slot]] += (1.0 - table.prob[slot]) / n
+        expected = np.asarray(weights) / np.sum(weights)
+        assert np.allclose(mass, expected, atol=1e-9)
+
+
+class TestDistribution:
+    def test_heavy_item_dominates(self):
+        table = AliasTable.build([7, 8], [99.0, 1.0])
+        rng = np.random.default_rng(0)
+        draws = table.draw_many(rng, 2000)
+        assert (draws == 7).mean() > 0.95
+
+    def test_draw_single_matches_items(self):
+        table = AliasTable.build([3, 4, 5], [1.0, 2.0, 3.0])
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert table.draw(rng) in (3, 4, 5)
+
+    def test_chi_square_close_to_weights(self):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable.build(np.arange(4), weights)
+        rng = np.random.default_rng(2)
+        draws = table.draw_many(rng, 20_000)
+        freq = np.bincount(draws, minlength=4) / 20_000
+        assert np.allclose(freq, weights / weights.sum(), atol=0.02)
+
+
+class TestGraphSampling:
+    def test_tables_cover_vertices_with_in_edges(self):
+        g = to_undirected(rmat(scale=6, edge_factor=5, seed=5))
+        weights = with_vertex_weights(g.num_vertices, seed=6)
+        tables = build_alias_tables(g, weights)
+        assert set(tables) == set(np.flatnonzero(g.in_degrees() > 0))
+
+    def test_sampled_are_neighbors(self):
+        g = to_undirected(rmat(scale=6, edge_factor=5, seed=7))
+        weights = with_vertex_weights(g.num_vertices, seed=8)
+        out = sample_neighbors_alias(g, weights, seed=9, draws_per_vertex=3)
+        for v in range(g.num_vertices):
+            nbrs = set(g.in_neighbors(v).tolist())
+            for pick in out[v]:
+                if pick >= 0:
+                    assert pick in nbrs
+                else:
+                    assert not nbrs
+
+    def test_distribution_agrees_with_prefix_sum_sampler(self):
+        """Both samplers target the same distribution: compare the
+        empirical pick frequency on the star hub over many seeds."""
+        g = star_graph(4)  # hub 0, leaves 1..4
+        weights = np.array([1.0, 8.0, 4.0, 2.0, 1.0])
+        prefix_picks = []
+        for seed in range(150):
+            engine = make_engine("single", g)
+            result = sample_neighbors(engine, vertex_weights=weights, seed=seed)
+            prefix_picks.append(int(result.select[0]))
+        alias_picks = sample_neighbors_alias(
+            g, weights, seed=0, draws_per_vertex=150
+        )[0]
+        prefix_freq = np.bincount(prefix_picks, minlength=5)[1:] / 150
+        alias_freq = np.bincount(alias_picks, minlength=5)[1:] / 150
+        expected = weights[1:] / weights[1:].sum()
+        assert np.allclose(prefix_freq, expected, atol=0.12)
+        assert np.allclose(alias_freq, expected, atol=0.12)

@@ -1,0 +1,135 @@
+"""BFS correctness against a networkx oracle, all engines and modes."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs
+from repro.engine import make_engine
+from repro.errors import ConvergenceError
+from repro.graph import CSRGraph, cycle_graph, path_graph, rmat, star_graph, to_undirected
+
+from conftest import assert_valid_bfs, make_all_engines
+
+
+def nx_depths(graph, root):
+    g = nx.DiGraph(list(graph.edges()))
+    g.add_nodes_from(range(graph.num_vertices))
+    lengths = nx.single_source_shortest_path_length(g, root)
+    depths = np.full(graph.num_vertices, -1, dtype=np.int64)
+    for v, d in lengths.items():
+        depths[v] = d
+    return depths
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=8, seed=21))
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("kind", ["gemini", "symple", "dgalois", "single"])
+    def test_depths_match_networkx(self, graph, kind):
+        engine = make_engine(kind, graph, 4)
+        root = int(np.argmax(graph.out_degrees()))
+        result = bfs(engine, root)
+        assert np.array_equal(result.depth, nx_depths(graph, root))
+
+    @pytest.mark.parametrize("mode", ["adaptive", "topdown", "bottomup"])
+    def test_modes_agree(self, graph, mode):
+        engine = make_engine("symple", graph, 4)
+        root = int(np.argmax(graph.out_degrees()))
+        result = bfs(engine, root, mode=mode)
+        assert np.array_equal(result.depth, nx_depths(graph, root))
+
+    def test_parent_tree_valid(self, graph):
+        engine = make_engine("symple", graph, 4)
+        root = int(np.argmax(graph.out_degrees()))
+        result = bfs(engine, root)
+        assert_valid_bfs(graph, result, root)
+
+
+class TestStructuredGraphs:
+    def test_path_graph_depths(self):
+        engine = make_engine("symple", path_graph(10), 2)
+        result = bfs(engine, 0)
+        assert result.depth.tolist() == list(range(10))
+
+    def test_cycle_graph_depths(self):
+        engine = make_engine("gemini", cycle_graph(8), 2)
+        result = bfs(engine, 0)
+        assert result.depth.tolist() == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_star_from_hub(self):
+        engine = make_engine("symple", star_graph(7), 2)
+        result = bfs(engine, 0)
+        assert result.depth[0] == 0
+        assert (result.depth[1:] == 1).all()
+
+    def test_star_from_leaf(self):
+        engine = make_engine("symple", star_graph(7), 2)
+        result = bfs(engine, 3)
+        assert result.depth[3] == 0
+        assert result.depth[0] == 1
+        assert result.depth[1] == 2
+
+    def test_disconnected_component_unreached(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        engine = make_engine("gemini", g, 2)
+        result = bfs(engine, 0)
+        assert result.visited[0] and result.visited[1]
+        assert not result.visited[2]
+        assert result.depth[4] == -1
+
+    def test_isolated_root(self):
+        g = CSRGraph.from_edges(3, [(1, 2), (2, 1)])
+        engine = make_engine("gemini", g, 2)
+        result = bfs(engine, 0)
+        assert result.reached == 1
+
+
+class TestDirectionSwitching:
+    def test_adaptive_uses_both_directions(self, graph):
+        engine = make_engine("gemini", graph, 4)
+        root = int(np.argmax(graph.out_degrees()))
+        result = bfs(engine, root)
+        assert "push" in result.directions
+        assert "pull" in result.directions
+
+    def test_forced_modes_record_directions(self, graph):
+        engine = make_engine("gemini", graph, 2)
+        root = int(np.argmax(graph.out_degrees()))
+        assert set(bfs(engine, root, mode="topdown").directions) == {"push"}
+        engine = make_engine("gemini", graph, 2)
+        assert set(bfs(engine, root, mode="bottomup").directions) == {"pull"}
+
+    def test_unknown_mode_rejected(self, graph):
+        engine = make_engine("gemini", graph, 2)
+        with pytest.raises(ValueError):
+            bfs(engine, 0, mode="diagonal")
+
+    def test_iteration_budget_enforced(self):
+        engine = make_engine("gemini", path_graph(50), 2)
+        with pytest.raises(ConvergenceError):
+            bfs(engine, 0, max_iterations=3)
+
+
+class TestCrossEngineAgreement:
+    def test_all_engines_same_depths(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        depths = {}
+        for kind, engine in make_all_engines(graph).items():
+            depths[kind] = bfs(engine, root).depth
+        base = depths.pop("single")
+        for kind, d in depths.items():
+            assert np.array_equal(d, base), kind
+
+    def test_symple_traverses_no_more_than_gemini(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        engines = make_all_engines(graph)
+        bfs(engines["gemini"], root, mode="bottomup")
+        bfs(engines["symple"], root, mode="bottomup")
+        assert (
+            engines["symple"].counters.edges_traversed
+            <= engines["gemini"].counters.edges_traversed
+        )

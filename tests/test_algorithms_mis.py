@@ -1,0 +1,100 @@
+"""MIS: independence, maximality, and cross-engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import mis
+from repro.engine import make_engine
+from repro.errors import ConvergenceError
+from repro.graph import CSRGraph, complete_graph, cycle_graph, path_graph, rmat, star_graph, to_undirected
+
+from conftest import make_all_engines
+
+
+def assert_valid_mis(graph, in_mis):
+    """Independent: no two members adjacent.  Maximal: every
+    non-member has a member neighbor."""
+    members = np.flatnonzero(in_mis)
+    member_set = set(members.tolist())
+    for v in members:
+        for u in graph.in_neighbors(int(v)):
+            assert int(u) not in member_set or int(u) == int(v)
+    for v in range(graph.num_vertices):
+        if v in member_set:
+            continue
+        neighbors = set(graph.in_neighbors(v).tolist())
+        assert neighbors & member_set, f"vertex {v} could join the MIS"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=8, seed=23))
+
+
+class TestValidity:
+    @pytest.mark.parametrize("kind", ["gemini", "symple", "dgalois", "single"])
+    def test_valid_mis(self, graph, kind):
+        engine = make_engine(kind, graph, 4)
+        result = mis(engine, seed=3)
+        assert_valid_mis(graph, result.in_mis)
+
+    def test_star_graph_leaves_win_or_hub(self):
+        g = star_graph(8)
+        result = mis(make_engine("symple", g, 2), seed=1)
+        assert_valid_mis(g, result.in_mis)
+        # either the hub alone, or all leaves
+        assert result.size in (1, 8)
+
+    def test_complete_graph_single_member(self):
+        result = mis(make_engine("gemini", complete_graph(6), 2), seed=0)
+        assert result.size == 1
+
+    def test_path_graph(self):
+        g = path_graph(10)
+        result = mis(make_engine("symple", g, 2), seed=5)
+        assert_valid_mis(g, result.in_mis)
+
+    def test_edgeless_graph_everything_in_mis(self):
+        g = CSRGraph.from_edges(5, [])
+        result = mis(make_engine("gemini", g, 2), seed=0)
+        assert result.size == 5
+
+    def test_round_budget_enforced(self, graph):
+        with pytest.raises(ConvergenceError):
+            mis(make_engine("gemini", graph, 2), max_rounds=0)
+
+
+class TestDeterminismAndAgreement:
+    def test_same_seed_same_result(self, graph):
+        a = mis(make_engine("symple", graph, 4), seed=7)
+        b = mis(make_engine("symple", graph, 4), seed=7)
+        assert np.array_equal(a.in_mis, b.in_mis)
+
+    def test_different_seed_usually_differs(self, graph):
+        a = mis(make_engine("gemini", graph, 4), seed=1)
+        b = mis(make_engine("gemini", graph, 4), seed=2)
+        assert not np.array_equal(a.in_mis, b.in_mis)
+
+    def test_all_engines_identical_result(self, graph):
+        """Definition 2.2 holds for the MIS UDF, so every engine must
+        produce exactly the same set (the paper's correctness claim)."""
+        results = {
+            kind: mis(engine, seed=11).in_mis
+            for kind, engine in make_all_engines(graph).items()
+        }
+        base = results.pop("single")
+        for kind, r in results.items():
+            assert np.array_equal(r, base), kind
+
+    def test_symple_cheaper_than_gemini(self, graph):
+        engines = make_all_engines(graph)
+        mis(engines["gemini"], seed=4)
+        mis(engines["symple"], seed=4)
+        assert (
+            engines["symple"].counters.edges_traversed
+            < engines["gemini"].counters.edges_traversed
+        )
+
+    def test_rounds_reported(self, graph):
+        result = mis(make_engine("gemini", graph, 2), seed=0)
+        assert result.rounds >= 1

@@ -1,0 +1,134 @@
+"""SSSP and full coreness decomposition against networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.kcore import coreness, kcore_peel
+from repro.algorithms.sssp import sssp
+from repro.engine import make_engine
+from repro.errors import GraphError
+from repro.graph import (
+    CSRGraph,
+    attach_chain,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_weights,
+    rmat,
+    to_undirected,
+)
+
+from conftest import make_all_engines
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    base = to_undirected(rmat(scale=7, edge_factor=6, seed=81))
+    return random_weights(base, seed=82, low=0.1, high=2.0)
+
+
+def nx_distances(graph, source):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.edge_array()
+    for u, v, w in zip(src, dst, graph.out_weights):
+        if g.has_edge(int(u), int(v)):
+            g[int(u)][int(v)]["weight"] = min(g[int(u)][int(v)]["weight"], w)
+        else:
+            g.add_edge(int(u), int(v), weight=float(w))
+    lengths = nx.single_source_dijkstra_path_length(g, source)
+    dist = np.full(graph.num_vertices, np.inf)
+    for v, d in lengths.items():
+        dist[v] = d
+    return dist
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("kind", ["gemini", "symple", "single"])
+    def test_matches_dijkstra(self, weighted_graph, kind):
+        engine = make_engine(kind, weighted_graph, 4)
+        source = int(np.argmax(weighted_graph.out_degrees()))
+        result = sssp(engine, source)
+        expected = nx_distances(weighted_graph, source)
+        assert np.allclose(result.dist, expected, equal_nan=True)
+
+    def test_unweighted_graph_rejected(self):
+        g = cycle_graph(5)
+        with pytest.raises(GraphError):
+            sssp(make_engine("gemini", g, 2), 0)
+
+    def test_negative_weights_rejected(self):
+        g = CSRGraph.from_edges(2, [(0, 1)], weights=[-1.0])
+        with pytest.raises(GraphError):
+            sssp(make_engine("gemini", g, 1), 0)
+
+    def test_weighted_path(self):
+        g = CSRGraph.from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3), (0, 3)],
+            weights=[1.0, 1.0, 1.0, 10.0],
+        )
+        engine = make_engine("symple", g, 2)
+        result = sssp(engine, 0)
+        assert result.dist.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_parallel_edges_use_min_weight(self):
+        g = CSRGraph.from_edges(2, [(0, 1), (0, 1)], weights=[5.0, 2.0])
+        result = sssp(make_engine("gemini", g, 1), 0)
+        assert result.dist[1] == 2.0
+
+    def test_unreachable_stays_infinite(self):
+        g = CSRGraph.from_edges(3, [(0, 1)], weights=[1.0])
+        result = sssp(make_engine("gemini", g, 2), 0)
+        assert np.isinf(result.dist[2])
+
+    def test_cross_engine_agreement(self, weighted_graph):
+        source = 0
+        dists = {}
+        for kind, engine in make_all_engines(weighted_graph).items():
+            dists[kind] = sssp(engine, source).dist
+        base = dists.pop("single")
+        for kind, d in dists.items():
+            assert np.allclose(d, base, equal_nan=True), kind
+
+
+class TestCoreness:
+    def nx_core_numbers(self, graph):
+        g = nx.Graph()
+        g.add_nodes_from(range(graph.num_vertices))
+        g.add_edges_from(graph.edges())
+        g.remove_edges_from(nx.selfloop_edges(g))
+        numbers = nx.core_number(g)
+        return np.array([numbers[v] for v in range(graph.num_vertices)])
+
+    def test_matches_networkx_on_rmat(self):
+        graph = to_undirected(rmat(scale=8, edge_factor=6, seed=83))
+        assert np.array_equal(coreness(graph), self.nx_core_numbers(graph))
+
+    def test_matches_networkx_on_chain_graph(self):
+        graph = attach_chain(to_undirected(rmat(scale=6, edge_factor=8, seed=84)), 12)
+        assert np.array_equal(coreness(graph), self.nx_core_numbers(graph))
+
+    def test_cycle_all_two(self):
+        assert coreness(cycle_graph(7)).tolist() == [2] * 7
+
+    def test_path_all_one(self):
+        assert coreness(path_graph(6)).tolist() == [1] * 6
+
+    def test_complete_graph(self):
+        assert coreness(complete_graph(5)).tolist() == [4] * 5
+
+    def test_empty(self):
+        assert coreness(CSRGraph.from_edges(0, [])).size == 0
+
+    def test_isolated_vertices_zero(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 0)])
+        assert coreness(g)[2] == 0
+
+    def test_consistent_with_peel(self):
+        graph = to_undirected(rmat(scale=7, edge_factor=8, seed=85))
+        core_numbers = coreness(graph)
+        for k in (2, 4, 6):
+            peel = kcore_peel(graph, k)
+            assert np.array_equal(peel.in_core, core_numbers >= k)

@@ -1,0 +1,202 @@
+"""UDF analyzer: dependency detection across UDF shapes."""
+
+import pytest
+
+from repro.algorithms.bfs import bottom_up_signal
+from repro.algorithms.cc import cc_signal
+from repro.algorithms.kcore import kcore_signal
+from repro.algorithms.kmeans import kmeans_signal
+from repro.algorithms.mis import mis_signal
+from repro.algorithms.pagerank import pagerank_signal
+from repro.algorithms.sampling import sampling_signal
+from repro.analysis import analyze_signal
+from repro.errors import AnalysisError
+
+
+class TestPaperAlgorithms:
+    """The five paper UDFs must be classified exactly as Section 2.1 says."""
+
+    def test_bfs_control_only(self):
+        info = analyze_signal(bottom_up_signal)
+        assert info.has_break
+        assert info.carried_vars == ()
+        assert info.has_control_dependency
+        assert not info.has_data_dependency
+
+    def test_mis_control_only(self):
+        info = analyze_signal(mis_signal)
+        assert info.has_break
+        assert info.carried_vars == ()
+
+    def test_kcore_control_and_data(self):
+        info = analyze_signal(kcore_signal)
+        assert info.has_break
+        assert info.carried_vars == ("cnt",)
+
+    def test_kmeans_control_only(self):
+        info = analyze_signal(kmeans_signal)
+        assert info.has_break
+        assert info.carried_vars == ()
+
+    def test_sampling_control_and_data(self):
+        info = analyze_signal(sampling_signal)
+        assert info.has_break
+        assert info.carried_vars == ("weight",)
+
+    def test_cc_no_dependency(self):
+        info = analyze_signal(cc_signal)
+        assert info.has_neighbor_loop
+        assert not info.has_break
+        # `best` is stored+loaded across iterations: data dependency,
+        # but no control dependency.
+        assert not info.has_control_dependency
+
+    def test_pagerank_data_only(self):
+        info = analyze_signal(pagerank_signal)
+        assert not info.has_break
+        assert info.carried_vars == ("total",)
+
+
+class TestDetectionRules:
+    def test_no_loop_at_all(self):
+        def signal(v, nbrs, s, emit):
+            emit(s.value[v])
+
+        info = analyze_signal(signal)
+        assert not info.has_neighbor_loop
+        assert not info.has_dependency
+
+    def test_loop_over_other_iterable_not_matched(self):
+        def signal(v, nbrs, s, emit):
+            for x in s.other:
+                emit(x)
+                break
+
+        info = analyze_signal(signal)
+        assert not info.has_neighbor_loop
+
+    def test_break_in_nested_if_detected(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.a[u]:
+                    if s.b[u]:
+                        emit(u)
+                        break
+
+        info = analyze_signal(signal)
+        assert info.has_break
+
+    def test_break_in_else_branch_detected(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.a[u]:
+                    emit(u)
+                else:
+                    break
+
+        assert analyze_signal(signal).has_break
+
+    def test_loop_invariant_read_not_carried(self):
+        def signal(v, nbrs, s, emit):
+            limit = s.k
+            for u in nbrs:
+                if s.deg[u] > limit:
+                    emit(u)
+                    break
+
+        assert analyze_signal(signal).carried_vars == ()
+
+    def test_write_only_flag_not_carried(self):
+        def signal(v, nbrs, s, emit):
+            found = False
+            for u in nbrs:
+                if s.a[u]:
+                    found = True
+                    break
+            if not found:
+                emit(v)
+
+        assert analyze_signal(signal).carried_vars == ()
+
+    def test_store_then_load_carried(self):
+        def signal(v, nbrs, s, emit):
+            last = -1
+            for u in nbrs:
+                if last >= 0 and s.w[u] > s.w[last]:
+                    emit(u)
+                    break
+                last = u
+
+        assert analyze_signal(signal).carried_vars == ("last",)
+
+    def test_augassign_carried(self):
+        def signal(v, nbrs, s, emit):
+            acc = 0.0
+            for u in nbrs:
+                acc += s.w[u]
+            emit(acc)
+
+        assert analyze_signal(signal).carried_vars == ("acc",)
+
+    def test_multiple_carried_vars_sorted(self):
+        def signal(v, nbrs, s, emit):
+            a = 0
+            b = 0.0
+            for u in nbrs:
+                a += 1
+                b += s.w[u]
+                if b > s.r[v]:
+                    emit(a)
+                    break
+
+        assert analyze_signal(signal).carried_vars == ("a", "b")
+
+    def test_loop_var_and_params_reported(self):
+        info = analyze_signal(bottom_up_signal)
+        assert info.loop_var == "u"
+        assert info.nbrs_param == "nbrs"
+
+
+class TestRestrictions:
+    def test_too_few_parameters_rejected(self):
+        def signal(v):
+            return v
+
+        with pytest.raises(AnalysisError):
+            analyze_signal(signal)
+
+    def test_nested_loop_with_break_rejected(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                for w in s.extra[u]:
+                    emit(w)
+                break
+
+        with pytest.raises(AnalysisError):
+            analyze_signal(signal)
+
+    def test_return_inside_loop_rejected(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.a[u]:
+                    return
+
+        with pytest.raises(AnalysisError):
+            analyze_signal(signal)
+
+    def test_lambda_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_signal(lambda v, nbrs, s, emit: None)
+
+    def test_builtin_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_signal(len)
+
+    def test_tuple_loop_target_rejected(self):
+        def signal(v, nbrs, s, emit):
+            for u, w in nbrs:
+                emit(u + w)
+                break
+
+        with pytest.raises(AnalysisError):
+            analyze_signal(signal)

@@ -1,0 +1,211 @@
+"""Empirical checkers for Definitions 2.1-2.4."""
+
+import numpy as np
+
+from repro.algorithms.bfs import bottom_up_signal
+from repro.algorithms.kcore import kcore_signal
+from repro.algorithms.mis import mis_signal
+from repro.algorithms.sampling import sampling_signal
+from repro.analysis.properties import (
+    check_dependency_threading,
+    check_no_loop_carried_dependency,
+    check_parallel_decomposable,
+    check_slot_commutative,
+)
+from repro.engine.state import StateStore
+
+N = 16
+POOL = list(range(1, N))
+
+
+def bfs_state():
+    rng = np.random.default_rng(7)
+    s = StateStore(N)
+    s.set("frontier", rng.random(N) < 0.3)
+    return s
+
+
+def kcore_state():
+    rng = np.random.default_rng(8)
+    s = StateStore(N)
+    s.set("active", rng.random(N) < 0.7)
+    s.add_scalar("k", 3)
+    return s
+
+
+def sampling_state():
+    rng = np.random.default_rng(9)
+    s = StateStore(N)
+    s.set("weight", rng.uniform(0.2, 1.0, N))
+    s.set("r", np.full(N, 2.5))
+    return s
+
+
+class TestSlotCommutativity:
+    def test_sum_slot_commutative(self):
+        def slot(v, value, s):
+            s.count[v] += value
+            return False
+
+        def make_state():
+            s = StateStore(N)
+            s.add_array("count", np.int64, 0)
+            return s
+
+        result = check_slot_commutative(
+            slot, make_state, lambda s: s.count[0], value_pool=[1, 2, 3]
+        )
+        assert result
+        assert result.cases_checked == 50
+
+    def test_min_slot_commutative(self):
+        def slot(v, value, s):
+            if value < s.best[v]:
+                s.best[v] = value
+            return False
+
+        def make_state():
+            s = StateStore(N)
+            s.add_array("best", np.int64, 99)
+            return s
+
+        assert check_slot_commutative(
+            slot, make_state, lambda s: s.best[0], value_pool=[5, 3, 8, 1]
+        )
+
+    def test_append_slot_not_commutative(self):
+        def slot(v, value, s):
+            s.log = s.log + (value,)
+            return False
+
+        def make_state():
+            s = StateStore(N)
+            s.set("log", ())
+            return s
+
+        result = check_slot_commutative(
+            slot, make_state, lambda s: s.log, value_pool=["a", "b", "c"]
+        )
+        assert not result
+        assert result.counterexample is not None
+
+
+class TestLoopCarriedDetection:
+    def test_bfs_has_dependency(self):
+        """A frontier neighbor in u1 makes I(u2|u1) = empty != I(u2)."""
+        result = check_no_loop_carried_dependency(
+            bottom_up_signal, bfs_state, POOL, trials=80
+        )
+        assert not result
+
+    def test_kcore_has_dependency(self):
+        result = check_no_loop_carried_dependency(
+            kcore_signal, kcore_state, POOL, trials=80
+        )
+        assert not result
+
+    def test_plain_scan_has_none(self):
+        def scan(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.frontier[u]:
+                    emit(u)
+
+        result = check_no_loop_carried_dependency(scan, bfs_state, POOL)
+        assert result
+
+
+class TestParallelDecomposable:
+    def test_bfs_is_parallel_decomposable(self):
+        """Definition 2.2 holds for bottom-up BFS: first-wins slot gives
+        the same visited outcome however the neighbors are split."""
+
+        def slot(v, value, s):
+            if s.parent[v] < 0:
+                s.parent[v] = value
+            return True
+
+        def make_state():
+            s = bfs_state()
+            s.add_array("parent", np.int64, -1)
+            return s
+
+        result = check_parallel_decomposable(
+            bottom_up_signal,
+            slot,
+            make_state,
+            lambda s: s.parent[0] >= 0,  # reachability, not identity
+            POOL,
+        )
+        assert result
+
+    def test_kcore_is_parallel_decomposable(self):
+        def slot(v, value, s):
+            s.count[v] += int(value)
+            return False
+
+        def make_state():
+            s = kcore_state()
+            s.add_array("count", np.int64, 0)
+            return s
+
+        # the observation the algorithm consumes: count >= k
+        result = check_parallel_decomposable(
+            kcore_signal,
+            slot,
+            make_state,
+            lambda s: s.count[0] >= s.k,
+            POOL,
+        )
+        assert result
+
+    def test_sampling_is_not_parallel_decomposable(self):
+        """Sampling's prefix sum has no meaning across independent
+        chunks — the reason the Gemini path needs the custom two-phase
+        protocol."""
+
+        def slot(v, value, s):
+            if s.select[v] < 0:
+                s.select[v] = int(value)
+            return True
+
+        def make_state():
+            s = sampling_state()
+            s.add_array("select", np.int64, -1)
+            return s
+
+        result = check_parallel_decomposable(
+            sampling_signal,
+            slot,
+            make_state,
+            lambda s: s.select[0],
+            POOL,
+            trials=60,
+        )
+        assert not result
+
+
+class TestDependencyThreading:
+    def test_break_udfs_thread_exactly(self):
+        def mis_state():
+            rng = np.random.default_rng(10)
+            s = StateStore(N)
+            s.set("active", rng.random(N) < 0.8)
+            s.set("color", rng.permutation(N))
+            return s
+
+        for signal, state in (
+            (bottom_up_signal, bfs_state),
+            (mis_signal, mis_state),
+            (sampling_signal, sampling_state),
+        ):
+            result = check_dependency_threading(signal, state, POOL)
+            assert result, result.counterexample
+
+    def test_accumulator_udf_threads_up_to_folding(self):
+        """K-core emits per-chunk deltas: raw lists differ, sums agree."""
+        raw = check_dependency_threading(kcore_signal, kcore_state, POOL)
+        assert not raw
+        folded = check_dependency_threading(
+            kcore_signal, kcore_state, POOL, normalize=sum
+        )
+        assert folded, folded.counterexample

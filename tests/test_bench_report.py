@@ -1,0 +1,79 @@
+"""Result collection and network tracing."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import (
+    EXPECTED_RESULTS,
+    collect_results,
+    results_manifest,
+)
+from repro.runtime.network import SimulatedNetwork
+
+
+class TestManifest:
+    def test_empty_directory_all_missing(self, tmp_path):
+        manifest = results_manifest(str(tmp_path))
+        assert not manifest.complete
+        assert set(manifest.missing) == set(EXPECTED_RESULTS)
+
+    def test_partial_results(self, tmp_path):
+        (tmp_path / "table4.txt").write_text("Table 4 content\n")
+        manifest = results_manifest(str(tmp_path))
+        assert "Table 4" in manifest.present
+        assert "Table 5" in manifest.missing
+
+    def test_complete(self, tmp_path):
+        for stem in EXPECTED_RESULTS.values():
+            (tmp_path / f"{stem}.txt").write_text("x\n")
+        assert results_manifest(str(tmp_path)).complete
+
+
+class TestCollect:
+    def test_report_includes_tables_and_missing(self, tmp_path):
+        (tmp_path / "fig10.txt").write_text("scalability numbers\n")
+        report = collect_results(str(tmp_path))
+        assert "## Figure 10" in report
+        assert "scalability numbers" in report
+        assert "MISSING" in report
+        assert "Table 4" in report  # listed as missing
+
+    def test_writes_output_file(self, tmp_path):
+        (tmp_path / "cost.txt").write_text("cost table\n")
+        out = tmp_path / "report.txt"
+        collect_results(str(tmp_path), output_path=str(out))
+        assert "cost table" in out.read_text()
+
+    def test_real_results_directory_if_present(self):
+        import pathlib
+
+        results = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "results"
+        )
+        if not results.exists():
+            pytest.skip("benchmarks not yet run")
+        report = collect_results(str(results))
+        assert "Table 4" in report or "MISSING" in report
+
+
+class TestNetworkTracing:
+    def test_trace_off_by_default(self):
+        net = SimulatedNetwork(2)
+        net.send(0, 1, "update", 8)
+        assert net.log == []
+
+    def test_trace_records_remote_sends(self):
+        net = SimulatedNetwork(3, trace=True)
+        net.send(0, 1, "update", 8)
+        net.send(1, 1, "update", 8)  # local: not traced
+        net.send(2, 0, "dep", 3)
+        assert net.log == [(0, 1, "update", 8), (2, 0, "dep", 3)]
+
+    def test_trace_limit_bounds_memory(self):
+        net = SimulatedNetwork(2, trace=True, trace_limit=2)
+        for _ in range(5):
+            net.send(0, 1, "update", 1)
+        assert len(net.log) == 2
+        assert net.dropped_log_entries == 3

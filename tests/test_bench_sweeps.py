@@ -1,0 +1,88 @@
+"""Sweep APIs and their CLI subcommands."""
+
+import pytest
+
+from repro.bench.sweeps import (
+    SweepResult,
+    kcore_sweep,
+    machine_sweep,
+    threshold_sweep,
+)
+from repro.cli import main
+from repro.graph import rmat, to_undirected
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=8, seed=99))
+
+
+class TestSweepResult:
+    def test_best_minimizes_time(self, graph):
+        sweep = machine_sweep(
+            "gemini", graph, "mis", machine_counts=(1, 4), seed=1
+        )
+        times = sweep.times()
+        assert sweep.best() == min(times, key=times.get)
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError):
+            SweepResult(parameter="x").best()
+
+
+class TestMachineSweep:
+    def test_runs_every_count(self, graph):
+        sweep = machine_sweep(
+            "symple", graph, "mis", machine_counts=(1, 2, 4), seed=1
+        )
+        assert sweep.values == [1, 2, 4]
+        assert all(p in sweep.runs for p in (1, 2, 4))
+
+    def test_distributed_beats_one_machine_somewhere(self, graph):
+        sweep = machine_sweep(
+            "symple", graph, "mis", machine_counts=(1, 4, 8), seed=1
+        )
+        assert sweep.best() != 1
+
+
+class TestKCoreSweep:
+    def test_covers_all_ks(self, graph):
+        sweep = kcore_sweep("gemini", graph, ks=(2, 4), num_machines=4)
+        assert sweep.values == [2, 4]
+        assert all(r.algorithm == "kcore" for r in sweep.runs.values())
+
+
+class TestThresholdSweep:
+    def test_small_threshold_wins_at_this_scale(self, graph):
+        sweep = threshold_sweep(
+            graph, "mis", thresholds=(2, 64), num_machines=8, seed=1
+        )
+        assert (
+            sweep.runs[2].simulated_time <= sweep.runs[64].simulated_time
+        )
+
+
+class TestCLISweepCommands:
+    def test_sweep_prints_best(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--engine",
+                "gemini",
+                "--dataset",
+                "s27",
+                "--algorithm",
+                "mis",
+                "--machines",
+                "2",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best machine count" in out
+
+    def test_schedule_prints_matrix(self, capsys):
+        assert main(["schedule", "--machines", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "M0" in out and "P2" in out

@@ -1,0 +1,125 @@
+"""Bitmap operations and wire-size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Bitmap
+
+
+class TestBasics:
+    def test_starts_clear(self):
+        bm = Bitmap(10)
+        assert bm.count() == 0
+        assert not bm.any()
+
+    def test_fill_constructor(self):
+        bm = Bitmap(5, fill=True)
+        assert bm.count() == 5
+
+    def test_set_get(self):
+        bm = Bitmap(8)
+        bm.set(3)
+        assert bm.get(3)
+        assert not bm.get(2)
+
+    def test_unset(self):
+        bm = Bitmap(8)
+        bm.set(3)
+        bm.set(3, False)
+        assert not bm.get(3)
+
+    def test_indexing_syntax(self):
+        bm = Bitmap(4)
+        bm[1] = True
+        assert bm[1]
+        assert not bm[0]
+
+    def test_from_indices(self):
+        bm = Bitmap.from_indices(10, [2, 5, 7])
+        assert bm.nonzero().tolist() == [2, 5, 7]
+
+    def test_from_indices_empty(self):
+        assert Bitmap.from_indices(4, []).count() == 0
+
+    def test_from_array(self):
+        bm = Bitmap.from_array(np.array([1, 0, 1], dtype=bool))
+        assert bm.nonzero().tolist() == [0, 2]
+
+    def test_clear_and_fill(self):
+        bm = Bitmap.from_indices(6, [1, 2])
+        bm.fill()
+        assert bm.count() == 6
+        bm.clear()
+        assert bm.count() == 0
+
+    def test_copy_is_independent(self):
+        a = Bitmap.from_indices(4, [0])
+        b = a.copy()
+        b.set(3)
+        assert not a.get(3)
+
+    def test_iter_yields_set_indices(self):
+        bm = Bitmap.from_indices(6, [4, 1])
+        assert list(bm) == [1, 4]
+
+    def test_len(self):
+        assert len(Bitmap(12)) == 12
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Bitmap.from_indices(6, [0, 1])
+        b = Bitmap.from_indices(6, [1, 2])
+        assert (a | b).nonzero().tolist() == [0, 1, 2]
+
+    def test_intersection(self):
+        a = Bitmap.from_indices(6, [0, 1])
+        b = Bitmap.from_indices(6, [1, 2])
+        assert (a & b).nonzero().tolist() == [1]
+
+    def test_difference(self):
+        a = Bitmap.from_indices(6, [0, 1])
+        b = Bitmap.from_indices(6, [1, 2])
+        assert (a - b).nonzero().tolist() == [0]
+
+    def test_equality(self):
+        assert Bitmap.from_indices(4, [1]) == Bitmap.from_indices(4, [1])
+        assert Bitmap.from_indices(4, [1]) != Bitmap.from_indices(4, [2])
+
+    def test_equality_with_non_bitmap(self):
+        assert Bitmap(3).__eq__(42) is NotImplemented
+
+
+class TestWireBytes:
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [(0, 0), (1, 1), (7, 1), (8, 1), (9, 2), (64, 8), (65, 9)],
+    )
+    def test_rounding(self, bits, expected):
+        assert Bitmap.wire_bytes(bits) == expected
+
+    def test_packed_size(self):
+        assert Bitmap(20).packed_size() == 3
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(0, 63), max_size=40),
+        st.lists(st.integers(0, 63), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_algebra_matches_set_semantics(self, xs, ys):
+        a = Bitmap.from_indices(64, xs)
+        b = Bitmap.from_indices(64, ys)
+        sa, sb = set(xs), set(ys)
+        assert set((a | b).nonzero().tolist()) == sa | sb
+        assert set((a & b).nonzero().tolist()) == sa & sb
+        assert set((a - b).nonzero().tolist()) == sa - sb
+
+    @given(st.lists(st.integers(0, 99), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_unique(self, xs):
+        bm = Bitmap.from_indices(100, xs)
+        assert bm.count() == len(set(xs))

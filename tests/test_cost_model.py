@@ -1,0 +1,153 @@
+"""Cost model: primitive pricing and the per-engine timing recursions."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import CostModel, IterationRecord, StepRecord
+
+
+def make_record(p=4, edges=1000, update_bytes=0, dep_bytes=0, steps=1, low=0):
+    rec = IterationRecord(mode="pull")
+    for _ in range(steps):
+        step = StepRecord(p)
+        step.high_edges[:] = edges
+        step.low_edges[:] = low
+        step.update_bytes[:] = update_bytes
+        step.dep_bytes[:] = dep_bytes
+        rec.steps.append(step)
+    return rec
+
+
+class TestPrimitives:
+    def test_compute_time_scaling(self):
+        cm = CostModel(edge_cost=2.0, vertex_cost=1.0, cores=1)
+        assert cm.compute_time([10], [4]).tolist() == [24.0]
+
+    def test_cores_divide_compute(self):
+        cm = CostModel(cores=4)
+        full = CostModel(cores=1).compute_time([100], [0])[0]
+        assert cm.compute_time([100], [0])[0] == full / 4
+
+    def test_transfer_time(self):
+        cm = CostModel(byte_cost=0.5)
+        assert cm.transfer_time(10) == 5.0
+
+    def test_with_cores(self):
+        cm = CostModel().with_cores(8)
+        assert cm.cores == 8
+
+    def test_scaled(self):
+        cm = CostModel().scaled(2.0)
+        assert cm.compute_scale == 2.0
+
+
+class TestGeminiTime:
+    def test_empty_iteration_costs_overhead(self):
+        cm = CostModel(iteration_overhead=100.0)
+        assert cm.gemini_iteration_time(IterationRecord()) == 100.0
+
+    def test_compute_bound_by_slowest_machine(self):
+        cm = CostModel(iteration_overhead=0.0, byte_cost=0.0)
+        rec = IterationRecord()
+        step = StepRecord(2)
+        step.high_edges[:] = [100, 300]
+        rec.steps.append(step)
+        assert cm.gemini_iteration_time(rec) == 300.0
+
+    def test_more_bytes_more_time(self):
+        cm = CostModel()
+        slow = cm.gemini_iteration_time(make_record(update_bytes=10_000))
+        fast = cm.gemini_iteration_time(make_record(update_bytes=0))
+        assert slow > fast
+
+
+class TestSympleTime:
+    def test_double_buffering_never_slower(self):
+        cm = CostModel()
+        rec = make_record(p=4, edges=500, dep_bytes=200, steps=4)
+        with_db = cm.symple_iteration_time(rec, double_buffering=True)
+        without = cm.symple_iteration_time(rec, double_buffering=False)
+        assert with_db <= without
+
+    def test_naive_schedule_serializes(self):
+        cm = CostModel()
+        rec = make_record(p=4, edges=500, steps=4)
+        circulant = cm.symple_iteration_time(rec, schedule="circulant")
+        naive = cm.symple_iteration_time(rec, schedule="naive")
+        assert naive > 2 * circulant
+
+    def test_unknown_schedule_rejected(self):
+        cm = CostModel()
+        with pytest.raises(ValueError):
+            cm.symple_iteration_time(make_record(), schedule="chaotic")
+
+    def test_low_degree_work_overlaps_wait(self):
+        """With DB+DP, low-degree compute hides the dependency wait."""
+        cm = CostModel(latency=100.0, step_overhead=0.0, byte_cost=0.0)
+        # all-high variant
+        all_high = make_record(p=4, edges=400, steps=4, low=0)
+        # same total work, half shifted to the dependency-free class
+        split = make_record(p=4, edges=200, steps=4, low=200)
+        t_high = cm.symple_iteration_time(all_high)
+        t_split = cm.symple_iteration_time(split)
+        assert t_split <= t_high
+
+    def test_empty_record(self):
+        cm = CostModel(iteration_overhead=42.0)
+        assert cm.symple_iteration_time(IterationRecord()) == 42.0
+
+    def test_dependency_latency_chains_across_steps(self):
+        cm = CostModel(latency=1000.0, byte_cost=0.0, step_overhead=0.0,
+                       iteration_overhead=0.0)
+        one = cm.symple_iteration_time(
+            make_record(p=4, edges=10, steps=1), double_buffering=False
+        )
+        four = cm.symple_iteration_time(
+            make_record(p=4, edges=10, steps=4), double_buffering=False
+        )
+        # each additional step waits on a dependency message
+        assert four > one + 2 * 1000.0
+
+
+class TestOtherEngines:
+    def test_dgalois_heavier_than_gemini(self):
+        cm_g = CostModel()
+        cm_d = CostModel(compute_scale=2.6)
+        rec = make_record(update_bytes=1000)
+        assert cm_d.dgalois_iteration_time(rec) > cm_g.gemini_iteration_time(rec)
+
+    def test_single_thread_sums_all_work(self):
+        cm = CostModel(edge_cost=1.0, vertex_cost=0.0, cores=1)
+        rec = make_record(p=4, edges=100)  # 400 edges total
+        assert cm.single_thread_iteration_time(rec) == 400.0
+
+    def test_push_time_positive(self):
+        cm = CostModel()
+        rec = make_record()
+        rec.mode = "push"
+        assert cm.push_iteration_time(rec) > 0
+
+
+class TestExecutionTime:
+    def test_dispatch_by_mode_and_engine(self):
+        from repro.runtime import Counters
+
+        c = Counters(2)
+        pull = make_record(p=2)
+        push = make_record(p=2)
+        push.mode = "push"
+        c.add_iteration(pull)
+        c.add_iteration(push)
+        cm = CostModel()
+        total = cm.execution_time(c, "gemini")
+        assert total == pytest.approx(
+            cm.gemini_iteration_time(pull) + cm.push_iteration_time(push)
+        )
+
+    def test_unknown_engine_rejected(self):
+        from repro.runtime import Counters
+
+        c = Counters(1)
+        c.add_iteration(make_record(p=1))
+        with pytest.raises(ValueError):
+            CostModel().execution_time(c, "quantum")

@@ -1,0 +1,129 @@
+"""Counters and simulated network accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.runtime import Counters, IterationRecord, SimulatedNetwork, StepRecord
+
+
+class TestStepRecord:
+    def test_arrays_default_to_zero(self):
+        step = StepRecord(4)
+        assert step.high_edges.tolist() == [0, 0, 0, 0]
+        assert step.dep_bytes.tolist() == [0, 0, 0, 0]
+
+    def test_total_edges_sums_classes(self):
+        step = StepRecord(2)
+        step.high_edges[:] = [3, 4]
+        step.low_edges[:] = [1, 2]
+        assert step.total_edges() == 10
+
+
+class TestIterationRecord:
+    def test_total_edges_over_steps(self):
+        rec = IterationRecord()
+        for edges in ([1, 2], [3, 4]):
+            step = StepRecord(2)
+            step.high_edges[:] = edges
+            rec.steps.append(step)
+        assert rec.total_edges() == 10
+
+
+class TestCounters:
+    def test_tag_accounting(self):
+        c = Counters(2)
+        c.add_bytes("update", 100)
+        c.add_bytes("dep", 10, messages=2)
+        assert c.update_bytes == 100
+        assert c.dep_bytes == 10
+        assert c.messages_by_tag["dep"] == 2
+        assert c.total_bytes == 110
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(KeyError):
+            Counters(2).add_bytes("bogus", 1)
+
+    def test_merge(self):
+        a, b = Counters(2), Counters(2)
+        a.add_edges(5)
+        b.add_edges(7)
+        b.add_bytes("sync", 12)
+        b.add_iteration(IterationRecord())
+        a.merge(b)
+        assert a.edges_traversed == 12
+        assert a.sync_bytes == 12
+        assert len(a.iterations) == 1
+
+    def test_summary_keys(self):
+        summary = Counters(1).summary()
+        for key in (
+            "edges_traversed",
+            "update_bytes",
+            "dep_bytes",
+            "sync_bytes",
+            "total_bytes",
+            "iterations",
+        ):
+            assert key in summary
+
+
+class TestNetwork:
+    def test_records_bytes_and_messages(self):
+        net = SimulatedNetwork(3)
+        net.send(0, 1, "update", 64)
+        net.send(0, 1, "update", 36, messages=2)
+        assert net.bytes_between(0, 1) == 100
+        assert net.message_counts["update"][0, 1] == 3
+
+    def test_local_transfer_free(self):
+        net = SimulatedNetwork(2)
+        net.send(1, 1, "update", 999)
+        assert net.bytes_sent() == 0
+
+    def test_counters_wired_through(self):
+        c = Counters(2)
+        net = SimulatedNetwork(2, c)
+        net.send(0, 1, "dep", 5)
+        assert c.dep_bytes == 5
+
+    def test_per_machine_sent_received(self):
+        net = SimulatedNetwork(3)
+        net.send(0, 1, "update", 10)
+        net.send(0, 2, "sync", 20)
+        net.send(1, 2, "update", 5)
+        assert net.per_machine_sent().tolist() == [30, 5, 0]
+        assert net.per_machine_received().tolist() == [0, 10, 25]
+
+    def test_per_tag_queries(self):
+        net = SimulatedNetwork(2)
+        net.send(0, 1, "update", 7)
+        net.send(0, 1, "dep", 3)
+        assert net.bytes_sent("update") == 7
+        assert net.bytes_sent("dep") == 3
+        assert net.bytes_sent() == 10
+
+    def test_busiest_pair(self):
+        net = SimulatedNetwork(3)
+        net.send(0, 1, "update", 5)
+        net.send(2, 0, "update", 50)
+        assert net.busiest_pair() == (2, 0, 50)
+
+    def test_invalid_machine_rejected(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(EngineError):
+            net.send(0, 5, "update", 1)
+
+    def test_negative_bytes_rejected(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(EngineError):
+            net.send(0, 1, "update", -1)
+
+    def test_unknown_tag_rejected(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(EngineError):
+            net.send(0, 1, "gossip", 1)
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(EngineError):
+            SimulatedNetwork(0)

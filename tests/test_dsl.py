@@ -1,0 +1,129 @@
+"""fold_while DSL: semantics and engine interoperability."""
+
+import numpy as np
+
+from repro.analysis import fold_while
+from repro.engine.dep import DepStore
+from repro.engine.state import StateStore
+
+
+def sampling_fold():
+    return fold_while(
+        initial=0.0,
+        compose=lambda acc, u, v, s: acc + s.weight[u],
+        exit_when=lambda acc, u, v, s: acc >= s.r[v],
+        on_exit=lambda acc, u, v, s, emit: emit(u),
+    )
+
+
+def make_state(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    s = StateStore(n)
+    s.set("weight", rng.uniform(0.5, 1.0, n))
+    s.set("r", np.full(n, 2.0))
+    return s
+
+
+class TestDSLBasics:
+    def test_reports_dependency(self):
+        sig = sampling_fold()
+        assert sig.has_dependency
+        assert sig.info.has_break
+        assert sig.info.carried_vars == ("acc",)
+
+    def test_original_stops_at_crossing(self):
+        sig = sampling_fold()
+        s = make_state()
+        emitted = []
+        sig.original(0, [1, 2, 3, 4, 5], s, emitted.append)
+        assert len(emitted) == 1
+        chosen = emitted[0]
+        prefix = 0.0
+        for u in [1, 2, 3, 4, 5]:
+            prefix += s.weight[u]
+            if prefix >= 2.0:
+                assert u == chosen
+                break
+
+    def test_on_each_called_per_neighbor(self):
+        calls = []
+        sig = fold_while(
+            initial=0,
+            compose=lambda acc, u, v, s: acc + 1,
+            exit_when=lambda acc, u, v, s: acc >= 3,
+            on_each=lambda acc, u, v, s, emit: calls.append(u),
+        )
+        sig.original(0, [7, 8, 9, 10], make_state(), lambda *_: None)
+        assert calls == [7, 8, 9]
+
+    def test_on_finish_fires_without_break(self):
+        finished = []
+        sig = fold_while(
+            initial=0.0,
+            compose=lambda acc, u, v, s: acc + s.weight[u],
+            exit_when=lambda acc, u, v, s: False,
+            on_finish=lambda acc, v, s, emit: finished.append(acc),
+        )
+        s = make_state()
+        sig.original(0, [1, 2], s, lambda *_: None)
+        assert len(finished) == 1
+        assert finished[0] == s.weight[1] + s.weight[2]
+
+    def test_on_finish_skipped_when_broken(self):
+        finished = []
+        sig = fold_while(
+            initial=0,
+            compose=lambda acc, u, v, s: acc + 1,
+            exit_when=lambda acc, u, v, s: True,
+            on_finish=lambda acc, v, s, emit: finished.append(acc),
+        )
+        sig.original(0, [1], make_state(), lambda *_: None)
+        assert finished == []
+
+
+class TestDSLDependencyThreading:
+    def test_instrumented_resumes_fold(self):
+        sig = sampling_fold()
+        s = make_state()
+        store = DepStore(1, sig.info.carried_vars)
+        emitted = []
+        # Sequential run over all 6 neighbors:
+        all_emitted = []
+        sig.original(0, [1, 2, 3, 4, 5, 6], s, all_emitted.append)
+        # Split run, threading the dep store:
+        for chunk in ([1, 2], [3, 4], [5, 6]):
+            if store.skip[0]:
+                break
+            sig.instrumented(0, chunk, s, emitted.append, store.handle(0))
+        assert emitted == all_emitted
+
+    def test_skip_short_circuits(self):
+        sig = sampling_fold()
+        store = DepStore(1, sig.info.carried_vars)
+        store.skip[0] = True
+        emitted = []
+        sig.instrumented(0, [1, 2], make_state(), emitted.append, store.handle(0))
+        assert emitted == []
+
+    def test_mark_break_set_on_exit(self):
+        sig = sampling_fold()
+        s = make_state()
+        s.set("r", np.full(10, 0.1))  # breaks immediately
+        store = DepStore(1, sig.info.carried_vars)
+        sig.instrumented(0, [1, 2], s, lambda *_: None, store.handle(0))
+        assert store.skip[0]
+
+    def test_on_finish_only_on_last_machine(self):
+        finished = []
+        sig = fold_while(
+            initial=0.0,
+            compose=lambda acc, u, v, s: acc + 1.0,
+            exit_when=lambda acc, u, v, s: False,
+            on_finish=lambda acc, v, s, emit: finished.append(acc),
+        )
+        store = DepStore(1, sig.info.carried_vars)
+        s = make_state()
+        sig.instrumented(0, [1], s, lambda *_: None, store.handle(0, is_last=False))
+        assert finished == []
+        sig.instrumented(0, [2], s, lambda *_: None, store.handle(0, is_last=True))
+        assert finished == [2.0]

@@ -1,0 +1,128 @@
+"""Property-based cross-engine equivalence.
+
+The paper's correctness argument (Section 2.3): algorithms satisfying
+Definition 2.2 produce identical results on every engine, and
+SympleGraph's precise enforcement only removes *redundant* work.  We
+fuzz over random graphs, machine counts, and thresholds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, connected_components, kcore, mis
+from repro.engine import (
+    GeminiEngine,
+    SingleThreadEngine,
+    SympleGraphEngine,
+    SympleOptions,
+)
+from repro.graph import erdos_renyi, to_undirected
+from repro.partition import OutgoingEdgeCut
+
+
+def random_graph(seed, n=48, m=220):
+    return to_undirected(erdos_renyi(n, m, seed=seed))
+
+
+def engine_pair(graph, machines, threshold):
+    gemini = GeminiEngine(OutgoingEdgeCut().partition(graph, machines))
+    symple = SympleGraphEngine(
+        OutgoingEdgeCut().partition(graph, machines),
+        options=SympleOptions(degree_threshold=threshold),
+    )
+    return gemini, symple
+
+
+graph_cases = st.tuples(
+    st.integers(0, 10_000),  # graph seed
+    st.sampled_from([2, 3, 4, 5, 8]),  # machines
+    st.sampled_from([0, 2, 8, 10**9]),  # degree threshold
+)
+
+
+class TestBFSEquivalence:
+    @given(graph_cases)
+    @settings(max_examples=25, deadline=None)
+    def test_depths_equal_and_edges_fewer(self, case):
+        seed, machines, threshold = case
+        graph = random_graph(seed)
+        gemini, symple = engine_pair(graph, machines, threshold)
+        root = int(np.argmax(graph.out_degrees()))
+        d1 = bfs(gemini, root, mode="bottomup").depth
+        d2 = bfs(symple, root, mode="bottomup").depth
+        assert np.array_equal(d1, d2)
+        assert (
+            symple.counters.edges_traversed <= gemini.counters.edges_traversed
+        )
+
+
+class TestMISEquivalence:
+    @given(graph_cases)
+    @settings(max_examples=20, deadline=None)
+    def test_sets_identical(self, case):
+        seed, machines, threshold = case
+        graph = random_graph(seed)
+        gemini, symple = engine_pair(graph, machines, threshold)
+        m1 = mis(gemini, seed=seed).in_mis
+        m2 = mis(symple, seed=seed).in_mis
+        assert np.array_equal(m1, m2)
+
+
+class TestKCoreEquivalence:
+    @given(graph_cases, st.sampled_from([2, 3, 5]))
+    @settings(max_examples=20, deadline=None)
+    def test_cores_identical(self, case, k):
+        seed, machines, threshold = case
+        graph = random_graph(seed)
+        gemini, symple = engine_pair(graph, machines, threshold)
+        c1 = kcore(gemini, k=k).in_core
+        c2 = kcore(symple, k=k).in_core
+        assert np.array_equal(c1, c2)
+
+
+class TestEdgeSavingsTheorem:
+    """Definition 2.4: enforcing the dependency can only *remove* work
+    relative to the same partition and scan order.  (Note: comparing
+    against the sequential oracle is NOT a theorem — circulant order
+    may find the break earlier or later than ascending order.)"""
+
+    @given(graph_cases, st.sampled_from([2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_kcore_edges_never_exceed_gemini(self, case, k):
+        seed, machines, threshold = case
+        graph = random_graph(seed)
+        gemini, symple = engine_pair(graph, machines, threshold)
+        kcore(gemini, k=k)
+        kcore(symple, k=k)
+        assert (
+            symple.counters.edges_traversed
+            <= gemini.counters.edges_traversed
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_single_machine_symple_equals_single_thread(self, seed):
+        """With one machine the engines are literally the same scan."""
+        graph = random_graph(seed)
+        single = SingleThreadEngine(graph)
+        symple = SympleGraphEngine(OutgoingEdgeCut().partition(graph, 1))
+        root = int(np.argmax(graph.out_degrees()))
+        bfs(single, root, mode="bottomup")
+        bfs(symple, root, mode="bottomup")
+        assert (
+            symple.counters.edges_traversed
+            == single.counters.edges_traversed
+        )
+
+
+class TestCCEquivalence:
+    @given(st.integers(0, 10_000), st.sampled_from([2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_labels_identical(self, seed, machines):
+        graph = random_graph(seed)
+        gemini, symple = engine_pair(graph, machines, 0)
+        l1 = connected_components(gemini).label
+        l2 = connected_components(symple).label
+        assert np.array_equal(l1, l2)

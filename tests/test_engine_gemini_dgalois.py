@@ -1,0 +1,133 @@
+"""Gemini and D-Galois engine specifics."""
+
+import numpy as np
+import pytest
+
+from repro.engine import DGaloisEngine, GeminiEngine, make_engine
+from repro.graph import rmat, star_graph, to_undirected
+from repro.partition import CartesianVertexCut, OutgoingEdgeCut
+
+
+def break_signal(v, nbrs, s, emit):
+    for u in nbrs:
+        if s.flag[u]:
+            emit(u)
+            break
+
+
+def first_wins_slot(v, value, s):
+    if s.result[v] >= 0:
+        return False
+    s.result[v] = value
+    return True
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=6, seed=61))
+
+
+def run_pull(engine, graph, sync_bytes=4):
+    s = engine.new_state()
+    s.add_array("flag", bool, True)
+    s.add_array("result", np.int64, -1)
+    active = graph.in_degrees() > 0
+    result = engine.pull(
+        break_signal, first_wins_slot, s, active, sync_bytes=sync_bytes
+    )
+    return result, s
+
+
+class TestGemini:
+    def test_single_step_iterations(self, graph):
+        engine = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        run_pull(engine, graph)
+        assert len(engine.counters.iterations) == 1
+        assert len(engine.counters.iterations[0].steps) == 1
+
+    def test_no_dependency_traffic_ever(self, graph):
+        engine = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        run_pull(engine, graph)
+        assert engine.counters.dep_bytes == 0
+
+    def test_update_messages_mirror_to_master_only(self, graph):
+        engine = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        run_pull(engine, graph, sync_bytes=0)
+        traffic = engine.network.traffic["update"]
+        part = engine.partition
+        for src in range(4):
+            for dst in range(4):
+                if traffic[src, dst] > 0:
+                    # some vertex mastered at dst has in-edges at src
+                    masters = part.masters_of(dst)
+                    assert part._has_in[src, masters].any()
+
+    def test_slot_applied_once_per_emission(self, graph):
+        applications = []
+
+        def counting_slot(v, value, s):
+            applications.append(v)
+            return False
+
+        engine = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        active = graph.in_degrees() > 0
+        result = engine.pull(break_signal, counting_slot, s, active)
+        assert len(applications) == result.updates_applied
+
+    def test_bsp_visibility(self, graph):
+        """Slot writes must not be visible to signals in the same pull."""
+        engine = GeminiEngine(OutgoingEdgeCut().partition(graph, 2))
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+
+        def poisoning_slot(v, value, s):
+            s.flag[:] = False  # would change other signals if visible
+            s.result[v] = value
+            return True
+
+        active = graph.in_degrees() > 0
+        result = engine.pull(break_signal, poisoning_slot, s, active)
+        # every active vertex with in-edges must have emitted (flag was
+        # True for everyone during the scan phase)
+        assert result.updates_applied >= np.count_nonzero(active)
+
+
+class TestDGalois:
+    def test_sync_goes_both_directions(self, graph):
+        """Gluon broadcast: holders of in- OR out-edges receive state."""
+        g = star_graph(30)
+        part_d = CartesianVertexCut().partition(g, 4)
+        part_g = OutgoingEdgeCut().partition(g, 4)
+        dgalois = DGaloisEngine(part_d)
+        gemini = GeminiEngine(part_g)
+        run_pull(dgalois, g, sync_bytes=8)
+        run_pull(gemini, g, sync_bytes=8)
+        # not directly comparable partitions, but dgalois must count
+        # sync traffic at all
+        assert dgalois.counters.sync_bytes > 0
+
+    def test_same_results_as_gemini(self, graph):
+        gemini = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        dgalois = DGaloisEngine(CartesianVertexCut().partition(graph, 4))
+        _, s1 = run_pull(gemini, graph)
+        _, s2 = run_pull(dgalois, graph)
+        # first-wins slot is order-sensitive in *value*, but here every
+        # neighbor has flag=True so the chosen parent may differ; the
+        # set of resolved vertices must match
+        assert np.array_equal(s1.result >= 0, s2.result >= 0)
+
+    def test_edges_traversed_counts_local_breaks(self, graph):
+        dgalois = DGaloisEngine(CartesianVertexCut().partition(graph, 4))
+        result, _ = run_pull(dgalois, graph)
+        assert result.edges_traversed > 0
+        assert result.edges_traversed == dgalois.counters.edges_traversed
+
+    def test_default_cost_heavier(self, graph):
+        gemini = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        dgalois = DGaloisEngine(CartesianVertexCut().partition(graph, 4))
+        run_pull(gemini, graph)
+        run_pull(dgalois, graph)
+        assert dgalois.execution_time() > gemini.execution_time()

@@ -1,0 +1,228 @@
+"""SympleGraph engine: circulant scheduling, dependency propagation,
+skip semantics, option handling."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    GeminiEngine,
+    SympleGraphEngine,
+    SympleOptions,
+    circulant_machine_order,
+    circulant_partition,
+)
+from repro.errors import EngineError
+from repro.graph import CSRGraph, rmat, star_graph, to_undirected
+from repro.partition import OutgoingEdgeCut
+
+
+def break_signal(v, nbrs, s, emit):
+    for u in nbrs:
+        if s.flag[u]:
+            emit(u)
+            break
+
+
+def first_wins_slot(v, value, s):
+    if s.result[v] >= 0:
+        return False
+    s.result[v] = value
+    return True
+
+
+class TestCirculantSchedule:
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 16])
+    def test_each_step_is_a_permutation(self, p):
+        """In every step, the p (machine, partition) pairs are disjoint."""
+        for s in range(p):
+            partitions = [circulant_partition(m, s, p) for m in range(p)]
+            assert sorted(partitions) == list(range(p))
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 16])
+    def test_each_pair_processed_exactly_once(self, p):
+        seen = set()
+        for s in range(p):
+            for m in range(p):
+                seen.add((m, circulant_partition(m, s, p)))
+        assert len(seen) == p * p
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_machine_order_ends_at_master(self, p):
+        for j in range(p):
+            order = circulant_machine_order(j, p)
+            assert order[-1] == j
+            assert sorted(order) == list(range(p))
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_dependency_flows_to_left_neighbor(self, p):
+        """The machine processing partition j at step s+1 is the left
+        neighbor of the one processing it at step s."""
+        for j in range(p):
+            order = circulant_machine_order(j, p)
+            for s in range(p - 1):
+                assert order[s + 1] == (order[s] - 1) % p
+
+
+class TestDependencySemantics:
+    def make_engine(self, graph, p=4, **opts):
+        options = SympleOptions(degree_threshold=0, **opts)
+        return SympleGraphEngine(
+            OutgoingEdgeCut().partition(graph, p), options=options
+        )
+
+    def test_skip_eliminates_edges(self):
+        """Once one machine breaks, later machines scan nothing."""
+        g = star_graph(40)  # hub 0 pulls from all leaves
+        engine = self.make_engine(g, p=4)
+        s = engine.new_state()
+        s.add_array("flag", bool, True)  # first neighbor breaks
+        s.add_array("result", np.int64, -1)
+        active = np.zeros(g.num_vertices, dtype=bool)
+        active[0] = True
+        result = engine.pull(break_signal, first_wins_slot, s, active)
+        # precise semantics: exactly 1 edge examined for the hub
+        assert result.edges_traversed == 1
+
+    def test_gemini_scans_every_machine(self):
+        g = star_graph(40)
+        engine = GeminiEngine(OutgoingEdgeCut().partition(g, 4))
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+        active = np.zeros(g.num_vertices, dtype=bool)
+        active[0] = True
+        result = engine.pull(break_signal, first_wins_slot, s, active)
+        # every machine holding in-edges of the hub scans its first
+        # neighbor independently
+        holders = sum(
+            1
+            for m in range(4)
+            if engine.partition.local_in(m).degree(0) > 0
+        )
+        assert result.edges_traversed == holders
+
+    def test_dep_bytes_emitted_between_steps(self, small_graph):
+        engine = self.make_engine(small_graph, p=4)
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+        active = small_graph.in_degrees() > 0
+        engine.pull(break_signal, first_wins_slot, s, active)
+        assert engine.counters.dep_bytes > 0
+        # dependency only flows to the left neighbor
+        dep = engine.network.traffic["dep"]
+        p = engine.num_machines
+        for src in range(p):
+            for dst in range(p):
+                if dep[src, dst] > 0:
+                    assert dst == (src - 1) % p
+
+    def test_no_dependency_falls_back_to_parallel(self, small_graph):
+        """A UDF without break/carried state runs Gemini-style."""
+
+        def scan_all(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.flag[u]:
+                    emit(u)  # no break, no carried state
+
+        engine = self.make_engine(small_graph, p=4)
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        active = small_graph.in_degrees() > 0
+        engine.pull(scan_all, lambda v, x, st: False, s, active)
+        assert engine.counters.dep_bytes == 0
+        assert len(engine.counters.iterations[0].steps) == 1
+
+    def test_single_machine_no_dep_traffic(self, small_graph):
+        engine = self.make_engine(small_graph, p=1)
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+        active = small_graph.in_degrees() > 0
+        engine.pull(break_signal, first_wins_slot, s, active)
+        assert engine.counters.dep_bytes == 0
+
+    def test_circulant_records_p_steps(self, small_graph):
+        engine = self.make_engine(small_graph, p=4)
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+        active = small_graph.in_degrees() > 0
+        engine.pull(break_signal, first_wins_slot, s, active)
+        assert len(engine.counters.iterations[0].steps) == 4
+
+
+class TestDifferentiatedPropagation:
+    def test_low_degree_vertices_skip_dependency(self, small_graph):
+        """With a huge threshold nothing is 'high': no dep traffic."""
+        options = SympleOptions(degree_threshold=10**9)
+        engine = SympleGraphEngine(
+            OutgoingEdgeCut().partition(small_graph, 4), options=options
+        )
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+        active = small_graph.in_degrees() > 0
+        engine.pull(break_signal, first_wins_slot, s, active)
+        assert engine.counters.dep_bytes == 0
+        # all work recorded in the low-degree class
+        step = engine.counters.iterations[0].steps[0]
+        assert step.high_edges.sum() == 0
+        assert step.low_edges.sum() > 0
+
+    def test_differentiation_off_treats_all_as_high(self, small_graph):
+        options = SympleOptions(differentiated=False)
+        engine = SympleGraphEngine(
+            OutgoingEdgeCut().partition(small_graph, 4), options=options
+        )
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+        active = small_graph.in_degrees() > 0
+        engine.pull(break_signal, first_wins_slot, s, active)
+        low = sum(
+            st.low_edges.sum()
+            for st in engine.counters.iterations[0].steps
+        )
+        assert low == 0
+
+    def test_allow_differentiated_false_overrides(self, small_graph):
+        options = SympleOptions(degree_threshold=10**9)
+        engine = SympleGraphEngine(
+            OutgoingEdgeCut().partition(small_graph, 4), options=options
+        )
+        s = engine.new_state()
+        s.add_array("flag", bool, True)
+        s.add_array("result", np.int64, -1)
+        active = small_graph.in_degrees() > 0
+        engine.pull(
+            break_signal,
+            first_wins_slot,
+            s,
+            active,
+            allow_differentiated=False,
+        )
+        assert engine.counters.dep_bytes > 0
+
+
+class TestOptions:
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(EngineError):
+            SympleOptions(schedule="quantum")
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(EngineError):
+            SympleOptions(degree_threshold=-1)
+
+    def test_execution_time_uses_schedule(self, small_graph):
+        for schedule in ("circulant", "naive"):
+            options = SympleOptions(schedule=schedule, degree_threshold=0)
+            engine = SympleGraphEngine(
+                OutgoingEdgeCut().partition(small_graph, 4), options=options
+            )
+            s = engine.new_state()
+            s.add_array("flag", bool, True)
+            s.add_array("result", np.int64, -1)
+            active = small_graph.in_degrees() > 0
+            engine.pull(break_signal, first_wins_slot, s, active)
+            assert engine.execution_time() > 0

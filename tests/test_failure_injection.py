@@ -1,0 +1,118 @@
+"""Failure injection: lost dependency messages (Section 5.1).
+
+"Before starting a new step, if a machine does not wait for receiving
+the full dependency communication from the previous step, the
+correctness is not compromised.  With incomplete information, the
+framework will just miss some opportunities to eliminate unnecessary
+computation and communication."
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, kcore, mis
+from repro.engine import SympleGraphEngine, SympleOptions
+from repro.engine.dep import DepStore
+from repro.errors import EngineError
+from repro.graph import erdos_renyi, rmat, to_undirected
+from repro.partition import OutgoingEdgeCut
+
+
+def engine_with_loss(graph, rate, seed=0, machines=4):
+    options = SympleOptions(
+        degree_threshold=0, dep_loss_rate=rate, dep_loss_seed=seed
+    )
+    return SympleGraphEngine(
+        OutgoingEdgeCut().partition(graph, machines), options=options
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=8, seed=95))
+
+
+class TestBlindHandle:
+    def test_reports_no_skip(self):
+        store = DepStore(2)
+        store.skip[0] = True
+        assert store.blind_handle(0).skip is False
+
+    def test_reads_no_data(self):
+        store = DepStore(2, ("cnt",))
+        store.handle(0).store("cnt", 9)
+        assert store.blind_handle(0).load("cnt", -1) == -1
+
+    def test_own_break_still_propagates(self):
+        store = DepStore(2)
+        store.blind_handle(1).mark_break()
+        assert store.skip[1]
+
+
+class TestCorrectnessUnderLoss:
+    @pytest.mark.parametrize("rate", [0.25, 0.75, 1.0])
+    def test_mis_identical(self, graph, rate):
+        clean = mis(engine_with_loss(graph, 0.0), seed=1).in_mis
+        lossy = mis(engine_with_loss(graph, rate), seed=1).in_mis
+        assert np.array_equal(clean, lossy)
+
+    @pytest.mark.parametrize("rate", [0.5, 1.0])
+    def test_bfs_depths_identical(self, graph, rate):
+        root = int(np.argmax(graph.out_degrees()))
+        clean = bfs(engine_with_loss(graph, 0.0), root, mode="bottomup")
+        lossy = bfs(engine_with_loss(graph, rate), root, mode="bottomup")
+        assert np.array_equal(clean.depth, lossy.depth)
+
+    @pytest.mark.parametrize("rate", [0.5, 1.0])
+    def test_kcore_identical(self, graph, rate):
+        clean = kcore(engine_with_loss(graph, 0.0), k=4).in_core
+        lossy = kcore(engine_with_loss(graph, rate), k=4).in_core
+        assert np.array_equal(clean, lossy)
+
+    @given(st.integers(0, 500), st.sampled_from([0.3, 0.7]))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs_identical(self, seed, rate):
+        g = to_undirected(erdos_renyi(40, 200, seed=seed))
+        clean = mis(engine_with_loss(g, 0.0), seed=seed).in_mis
+        lossy = mis(engine_with_loss(g, rate, seed=seed), seed=seed).in_mis
+        assert np.array_equal(clean, lossy)
+
+
+class TestSavingsDegrade:
+    def test_edges_monotone_in_loss_rate(self, graph):
+        """More lost messages -> fewer skips -> more edges scanned,
+        bounded above by total-loss behaviour."""
+        root = int(np.argmax(graph.out_degrees()))
+        edges = {}
+        for rate in (0.0, 0.5, 1.0):
+            engine = engine_with_loss(graph, rate)
+            bfs(engine, root, mode="bottomup")
+            edges[rate] = engine.counters.edges_traversed
+        assert edges[0.0] <= edges[0.5] <= edges[1.0]
+        assert edges[1.0] > edges[0.0]
+
+    def test_total_loss_approaches_gemini(self, graph):
+        """Losing every control bit degenerates SympleGraph's traversal
+        to Gemini's (Section 5.1: 'Gemini can be considered as a special
+        case without dependency communication')."""
+        from repro.engine import GeminiEngine
+
+        root = int(np.argmax(graph.out_degrees()))
+        lossy = engine_with_loss(graph, 1.0)
+        gemini = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        bfs(lossy, root, mode="bottomup")
+        bfs(gemini, root, mode="bottomup")
+        assert lossy.counters.edges_traversed == gemini.counters.edges_traversed
+
+
+class TestOptionValidation:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(EngineError):
+            SympleOptions(dep_loss_rate=1.5)
+        with pytest.raises(EngineError):
+            SympleOptions(dep_loss_rate=-0.1)
+
+    def test_zero_rate_is_default(self):
+        assert SympleOptions().dep_loss_rate == 0.0

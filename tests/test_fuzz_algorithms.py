@@ -1,0 +1,78 @@
+"""Randomized cross-checks over algorithm variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, sample_neighbors
+from repro.algorithms.scc import scc
+from repro.engine import make_engine
+from repro.graph import erdos_renyi, star_graph, to_undirected
+
+
+class TestBFSModeEquivalence:
+    @given(st.integers(0, 5000), st.sampled_from([2, 4]))
+    @settings(max_examples=12, deadline=None)
+    def test_all_modes_agree_on_depths(self, seed, machines):
+        graph = to_undirected(erdos_renyi(40, 160, seed=seed))
+        root = int(np.argmax(graph.out_degrees()))
+        depths = {}
+        for mode in ("adaptive", "topdown", "bottomup"):
+            engine = make_engine("symple", graph, machines)
+            depths[mode] = bfs(engine, root, mode=mode).depth
+        assert np.array_equal(depths["adaptive"], depths["topdown"])
+        assert np.array_equal(depths["adaptive"], depths["bottomup"])
+
+
+class TestSCCFuzz:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_networkx_on_random_digraphs(self, seed):
+        import networkx as nx
+
+        graph = erdos_renyi(30, 90, seed=seed)  # directed
+        result = scc(graph, engine_kind="symple", num_machines=3, seed=seed)
+
+        g = nx.DiGraph(list(graph.edges()))
+        g.add_nodes_from(range(graph.num_vertices))
+        expected = {}
+        for comp in nx.strongly_connected_components(g):
+            rep = min(comp)
+            for v in comp:
+                expected[v] = rep
+        canonical = result.component.copy()
+        for rep in np.unique(result.component):
+            members = np.flatnonzero(result.component == rep)
+            canonical[members] = members.min()
+        assert all(
+            canonical[v] == expected[v] for v in range(graph.num_vertices)
+        )
+
+
+class TestSamplingDistributionOnSymple:
+    def test_star_hub_distribution_chi_square(self):
+        """The distributed prefix-sum sample (circulant order) targets
+        the same weighted distribution as any correct sampler."""
+        g = star_graph(4)
+        weights = np.array([1.0, 8.0, 4.0, 2.0, 1.0])
+        picks = []
+        for seed in range(150):
+            engine = make_engine("symple", g, 3)
+            result = sample_neighbors(engine, vertex_weights=weights, seed=seed)
+            picks.append(int(result.select[0]))
+        freq = np.bincount(picks, minlength=5)[1:] / 150
+        expected = weights[1:] / weights[1:].sum()
+        assert np.allclose(freq, expected, atol=0.12)
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=10, deadline=None)
+    def test_every_sample_is_a_neighbor(self, seed):
+        graph = to_undirected(erdos_renyi(30, 140, seed=seed))
+        engine = make_engine("symple", graph, 4)
+        result = sample_neighbors(engine, seed=seed)
+        for v in np.flatnonzero(result.select >= 0):
+            v = int(v)
+            assert result.select[v] in graph.in_neighbors(v)
+        has_in = graph.in_degrees() > 0
+        assert (result.select[has_in] >= 0).all()

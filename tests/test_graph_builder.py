@@ -1,0 +1,112 @@
+"""GraphBuilder accumulation, dedup, and validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder
+
+
+class TestBuilder:
+    def test_chaining(self):
+        g = GraphBuilder(3).add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_edges == 2
+
+    def test_len_tracks_edges(self):
+        b = GraphBuilder(3)
+        assert len(b) == 0
+        b.add_edge(0, 1)
+        assert len(b) == 1
+
+    def test_undirected_edge_adds_both_directions(self):
+        g = GraphBuilder(2).add_undirected_edge(0, 1).build()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_out_of_range_source(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(2, 0)
+
+    def test_out_of_range_destination(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(0, 5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(-1)
+
+    def test_empty_build(self):
+        g = GraphBuilder(4).build()
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+
+class TestWeightConsistency:
+    def test_weighted_edges(self):
+        g = GraphBuilder(2).add_edge(0, 1, weight=1.5).build()
+        assert g.is_weighted
+        assert g.out_edge_weights(0).tolist() == [1.5]
+
+    def test_mixing_weighted_then_unweighted_rejected(self):
+        b = GraphBuilder(3).add_edge(0, 1, weight=1.0)
+        with pytest.raises(GraphError):
+            b.add_edge(1, 2)
+
+    def test_mixing_unweighted_then_weighted_rejected(self):
+        b = GraphBuilder(3).add_edge(0, 1)
+        with pytest.raises(GraphError):
+            b.add_edge(1, 2, weight=2.0)
+
+    def test_undirected_weighted(self):
+        g = GraphBuilder(2).add_undirected_edge(0, 1, weight=3.0).build()
+        assert g.out_edge_weights(0).tolist() == [3.0]
+        assert g.out_edge_weights(1).tolist() == [3.0]
+
+
+class TestBuildOptions:
+    def test_dedup_collapses_parallel_edges(self):
+        g = (
+            GraphBuilder(2)
+            .add_edge(0, 1)
+            .add_edge(0, 1)
+            .add_edge(0, 1)
+            .build(dedup=True)
+        )
+        assert g.num_edges == 1
+
+    def test_dedup_keeps_first_weight(self):
+        g = (
+            GraphBuilder(2)
+            .add_edge(0, 1, weight=0.25)
+            .add_edge(0, 1, weight=0.75)
+            .build(dedup=True)
+        )
+        assert g.out_edge_weights(0).tolist() == [0.25]
+
+    def test_drop_self_loops(self):
+        g = (
+            GraphBuilder(2)
+            .add_edge(0, 0)
+            .add_edge(0, 1)
+            .build(drop_self_loops=True)
+        )
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_dedup_and_drop_combined(self):
+        g = (
+            GraphBuilder(3)
+            .add_edge(1, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 2)
+            .build(dedup=True, drop_self_loops=True)
+        )
+        assert g.num_edges == 1
+        assert g.has_edge(0, 2)
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder(3).add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 2)
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2

@@ -1,0 +1,181 @@
+"""CSRGraph construction, adjacency, and degree invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph
+
+
+def build(n, edges, weights=None):
+    return CSRGraph.from_edges(n, edges, weights)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = build(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_vertices_without_edges(self):
+        g = build(5, [])
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.out_degree(4) == 0
+
+    def test_single_edge(self):
+        g = build(2, [(0, 1)])
+        assert g.num_edges == 1
+        assert list(g.out_neighbors(0)) == [1]
+        assert list(g.in_neighbors(1)) == [0]
+
+    def test_self_loop_allowed(self):
+        g = build(1, [(0, 0)])
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 1
+
+    def test_parallel_edges_kept(self):
+        g = build(2, [(0, 1), (0, 1)])
+        assert g.num_edges == 2
+        assert g.out_degree(0) == 2
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(GraphError):
+            build(2, [(2, 0)])
+
+    def test_out_of_range_destination_rejected(self):
+        with pytest.raises(GraphError):
+            build(2, [(0, 2)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            build(2, [(-1, 0)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(-1, np.empty(0, np.int64), np.empty(0, np.int64))
+
+    def test_mismatched_src_dst_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(3, np.array([0, 1]), np.array([1]))
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(3, [(0, 1, 2)])
+
+    def test_weights_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            build(2, [(0, 1)], weights=[0.5, 0.7])
+
+
+class TestAdjacency:
+    def test_neighbors_sorted_by_construction_order(self):
+        g = build(4, [(0, 3), (0, 1), (0, 2)])
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2, 3]
+
+    def test_in_out_duality(self):
+        edges = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        g = build(3, edges)
+        for u, v in edges:
+            assert v in g.out_neighbors(u)
+            assert u in g.in_neighbors(v)
+
+    def test_edges_iterator_roundtrip(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        g = build(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_edge_array_matches_edges(self):
+        edges = [(0, 2), (1, 0), (2, 1), (2, 0)]
+        g = build(3, edges)
+        src, dst = g.edge_array()
+        assert sorted(zip(src.tolist(), dst.tolist())) == sorted(edges)
+
+    def test_has_edge(self):
+        g = build(3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_neighbor_query_out_of_range(self):
+        g = build(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.out_neighbors(3)
+        with pytest.raises(GraphError):
+            g.in_neighbors(-1)
+
+
+class TestDegrees:
+    def test_degree_arrays(self):
+        g = build(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.out_degrees().tolist() == [2, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 2]
+
+    def test_degree_scalars_match_arrays(self):
+        g = build(4, [(0, 1), (2, 1), (3, 1)])
+        for v in range(4):
+            assert g.out_degree(v) == g.out_degrees()[v]
+            assert g.in_degree(v) == g.in_degrees()[v]
+
+    def test_degree_sum_equals_edge_count(self):
+        g = build(5, [(0, 1), (1, 2), (3, 4), (4, 0)])
+        assert g.out_degrees().sum() == g.num_edges
+        assert g.in_degrees().sum() == g.num_edges
+
+
+class TestWeights:
+    def test_weighted_graph(self):
+        g = build(2, [(0, 1)], weights=[2.5])
+        assert g.is_weighted
+        assert g.out_edge_weights(0).tolist() == [2.5]
+        assert g.in_edge_weights(1).tolist() == [2.5]
+
+    def test_unweighted_weight_access_raises(self):
+        g = build(2, [(0, 1)])
+        assert not g.is_weighted
+        with pytest.raises(GraphError):
+            g.out_edge_weights(0)
+
+    def test_weights_follow_edges_through_sorting(self):
+        g = build(3, [(2, 0), (0, 1), (1, 2)], weights=[0.3, 0.1, 0.2])
+        # weight of edge (u, v) must stay attached to that edge
+        assert g.out_edge_weights(2).tolist() == [0.3]
+        assert g.out_edge_weights(0).tolist() == [0.1]
+        assert g.in_edge_weights(0).tolist() == [0.3]
+
+
+edge_lists = st.integers(2, 20).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=60,
+        ),
+    )
+)
+
+
+class TestProperties:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_in_out_edge_multisets_agree(self, data):
+        n, edges = data
+        g = build(n, edges)
+        out_pairs = sorted(
+            (u, v) for u in range(n) for v in g.out_neighbors(u).tolist()
+        )
+        in_pairs = sorted(
+            (u, v) for v in range(n) for u in g.in_neighbors(v).tolist()
+        )
+        assert out_pairs == in_pairs == sorted(edges)
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_indptr_monotone_and_complete(self, data):
+        n, edges = data
+        g = build(n, edges)
+        assert np.all(np.diff(g.out_indptr) >= 0)
+        assert np.all(np.diff(g.in_indptr) >= 0)
+        assert g.out_indptr[-1] == len(edges)
+        assert g.in_indptr[-1] == len(edges)

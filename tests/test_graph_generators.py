@@ -1,0 +1,150 @@
+"""Graph generators: determinism, shape, and distribution sanity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    attach_chain,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_weights,
+    rmat,
+    star_graph,
+)
+from repro.graph.properties import is_symmetric
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat(scale=8, edge_factor=4, seed=0)
+        assert g.num_vertices == 256
+        assert g.num_edges == 1024
+
+    def test_deterministic_per_seed(self):
+        a = rmat(scale=7, edge_factor=4, seed=5)
+        b = rmat(scale=7, edge_factor=4, seed=5)
+        assert np.array_equal(a.out_indices, b.out_indices)
+        assert np.array_equal(a.out_indptr, b.out_indptr)
+
+    def test_seeds_differ(self):
+        a = rmat(scale=7, edge_factor=4, seed=1)
+        b = rmat(scale=7, edge_factor=4, seed=2)
+        assert not np.array_equal(a.out_indices, b.out_indices)
+
+    def test_skewed_degree_distribution(self):
+        g = rmat(scale=10, edge_factor=16, seed=3)
+        deg = g.in_degrees()
+        # Graph500 parameters produce heavy skew: the max degree far
+        # exceeds the mean.
+        assert deg.max() > 8 * deg.mean()
+
+    def test_permute_false_concentrates_hubs(self):
+        g = rmat(scale=8, edge_factor=8, seed=1, permute=False)
+        deg = g.in_degrees() + g.out_degrees()
+        # Without permutation R-MAT piles mass on low vertex ids.
+        assert deg[: 64].sum() > deg[192:].sum()
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            rmat(scale=-1)
+        with pytest.raises(GraphError):
+            rmat(scale=31)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat(scale=4, a=0.5, b=0.3, c=0.3)
+
+
+class TestDeterministicShapes:
+    def test_path_graph_undirected(self):
+        g = path_graph(4)
+        assert g.num_edges == 6  # 3 undirected edges
+        assert is_symmetric(g)
+
+    def test_path_graph_directed(self):
+        g = path_graph(4, directed=True)
+        assert g.num_edges == 3
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_path_graph_empty(self):
+        assert path_graph(0).num_vertices == 0
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 10
+        assert g.has_edge(4, 0) and g.has_edge(0, 4)
+
+    def test_cycle_graph_directed(self):
+        g = cycle_graph(5, directed=True)
+        assert g.num_edges == 5
+        assert g.has_edge(4, 0) and not g.has_edge(0, 4)
+
+    def test_star_graph(self):
+        g = star_graph(6)
+        assert g.num_vertices == 7
+        assert g.out_degree(0) == 6
+        assert all(g.out_degree(v) == 1 for v in range(1, 7))
+
+    def test_complete_graph(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        assert not g.has_edge(2, 2)
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # interior vertex (1,1) = id 5 has 4 neighbors
+        assert g.out_degree(5) == 4
+        assert is_symmetric(g)
+
+    def test_grid_graph_single_cell(self):
+        g = grid_graph(1, 1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestErdosRenyi:
+    def test_edge_count_exact(self):
+        g = erdos_renyi(50, 200, seed=0)
+        assert g.num_edges == 200
+
+    def test_deterministic(self):
+        a = erdos_renyi(30, 100, seed=9)
+        b = erdos_renyi(30, 100, seed=9)
+        assert np.array_equal(a.out_indices, b.out_indices)
+
+
+class TestAttachChain:
+    def test_chain_extends_graph(self):
+        base = cycle_graph(8)
+        g = attach_chain(base, 5)
+        assert g.num_vertices == 13
+        # chain is undirected: 5 new undirected edges = 10 directed
+        assert g.num_edges == base.num_edges + 10
+
+    def test_chain_connected_to_vertex_zero(self):
+        g = attach_chain(cycle_graph(4), 3)
+        assert g.has_edge(0, 4)
+        assert g.has_edge(4, 0)
+        assert g.has_edge(4, 5)
+        assert g.has_edge(6, 5)
+
+    def test_chain_end_degree_one(self):
+        g = attach_chain(cycle_graph(4), 3)
+        assert g.out_degree(6) == 1
+
+
+class TestRandomWeights:
+    def test_weights_attached(self):
+        g = random_weights(cycle_graph(5), seed=2)
+        assert g.is_weighted
+        assert g.out_weights.shape == (g.num_edges,)
+
+    def test_weights_in_range(self):
+        g = random_weights(cycle_graph(5), seed=2, low=1.0, high=2.0)
+        assert np.all(g.out_weights >= 1.0)
+        assert np.all(g.out_weights < 2.0)

@@ -1,0 +1,96 @@
+"""METIS adjacency-format IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, cycle_graph, grid_graph, rmat, to_undirected
+from repro.graph.io import load_metis, save_metis
+from repro.graph.transform import remove_self_loops
+
+
+def roundtrip(graph, tmp_path):
+    path = tmp_path / "g.metis"
+    save_metis(graph, path)
+    return load_metis(path)
+
+
+class TestRoundtrip:
+    def test_cycle(self, tmp_path):
+        g = cycle_graph(6)
+        loaded = roundtrip(g, tmp_path)
+        assert loaded.num_vertices == 6
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_grid(self, tmp_path):
+        g = grid_graph(3, 3)
+        loaded = roundtrip(g, tmp_path)
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_symmetrized_rmat(self, tmp_path):
+        g = remove_self_loops(to_undirected(rmat(scale=6, edge_factor=4, seed=3)))
+        loaded = roundtrip(g, tmp_path)
+        assert loaded.num_edges == g.num_edges
+        assert np.array_equal(loaded.in_degrees(), g.in_degrees())
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = CSRGraph.from_edges(5, [(0, 1), (1, 0)])
+        loaded = roundtrip(g, tmp_path)
+        assert loaded.num_vertices == 5
+        assert loaded.out_degree(4) == 0
+
+
+class TestValidation:
+    def test_self_loop_rejected_on_save(self, tmp_path):
+        g = CSRGraph.from_edges(2, [(0, 0), (0, 1), (1, 0)])
+        with pytest.raises(GraphError):
+            save_metis(g, tmp_path / "g.metis")
+
+    def test_asymmetric_rejected_on_save(self, tmp_path):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(GraphError):
+            save_metis(g, tmp_path / "g.metis")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("42\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_too_many_lines_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n2\n1\n2\n")  # 2 vertices, 3 adjacency lines
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_missing_trailing_lines_mean_isolated_vertices(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")  # vertex 2's blank line omitted
+        g = load_metis(path)
+        assert g.num_vertices == 3
+        assert g.out_degree(2) == 0
+
+    def test_neighbor_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n2\n9\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_comment_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("% a comment\n2 1\n2\n1\n")
+        g = load_metis(path)
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)

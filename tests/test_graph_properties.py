@@ -1,0 +1,90 @@
+"""Degree statistics and structural property helpers."""
+
+import numpy as np
+
+from repro.graph import (
+    CSRGraph,
+    average_degree,
+    complete_graph,
+    cycle_graph,
+    degree_summary,
+    high_degree_ratio,
+    is_symmetric,
+    isolated_vertices,
+    path_graph,
+    rmat,
+    star_graph,
+)
+
+
+class TestDegreeSummary:
+    def test_cycle_uniform(self):
+        s = degree_summary(cycle_graph(10), "out")
+        assert s.minimum == s.maximum == 2
+        assert s.mean == 2.0
+
+    def test_star_out(self):
+        s = degree_summary(star_graph(9), "out")
+        assert s.maximum == 9
+        assert s.minimum == 1
+
+    def test_in_direction(self):
+        g = CSRGraph.from_edges(3, [(0, 2), (1, 2)])
+        s = degree_summary(g, "in")
+        assert s.maximum == 2
+        assert s.minimum == 0
+
+    def test_empty_graph(self):
+        s = degree_summary(CSRGraph.from_edges(0, []))
+        assert s.maximum == 0
+
+    def test_invalid_direction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            degree_summary(cycle_graph(3), "sideways")
+
+
+class TestHighDegreeRatio:
+    def test_matches_manual_count(self):
+        g = rmat(scale=9, edge_factor=16, seed=0)
+        ratio = high_degree_ratio(g, threshold=32)
+        expected = np.mean(g.in_degrees() >= 32)
+        assert ratio == expected
+
+    def test_zero_threshold_is_one(self):
+        assert high_degree_ratio(cycle_graph(5), threshold=0) == 1.0
+
+    def test_empty_graph(self):
+        assert high_degree_ratio(CSRGraph.from_edges(0, [])) == 0.0
+
+    def test_paper_band(self):
+        # Table 1's |V'|/|V| sits between 0.04 and 0.31 for all graphs;
+        # our skewed generator should land in a similar band.
+        g = rmat(scale=11, edge_factor=16, seed=1)
+        assert 0.02 < high_degree_ratio(g, 32) < 0.5
+
+
+class TestIsolatedAndSymmetry:
+    def test_isolated_vertices_found(self):
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        assert isolated_vertices(g).tolist() == [2, 3, 4]
+
+    def test_no_isolated_in_cycle(self):
+        assert isolated_vertices(cycle_graph(6)).size == 0
+
+    def test_symmetric_detection(self):
+        assert is_symmetric(cycle_graph(4))
+        assert not is_symmetric(path_graph(4, directed=True))
+
+    def test_complete_graph_symmetric(self):
+        assert is_symmetric(complete_graph(4))
+
+
+class TestAverageDegree:
+    def test_matches_edge_factor(self):
+        g = rmat(scale=8, edge_factor=4, seed=0)
+        assert average_degree(g) == 4.0
+
+    def test_empty(self):
+        assert average_degree(CSRGraph.from_edges(0, [])) == 0.0

@@ -1,0 +1,136 @@
+"""Graph transformations: symmetrization, relabeling, subgraphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    CSRGraph,
+    add_reverse_edges,
+    induced_subgraph,
+    path_graph,
+    relabel,
+    remove_self_loops,
+    rmat,
+    to_undirected,
+    with_vertex_weights,
+)
+from repro.graph.properties import is_symmetric
+
+
+class TestAddReverse:
+    def test_doubles_edges(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        r = add_reverse_edges(g)
+        assert r.num_edges == 4
+        assert r.has_edge(1, 0) and r.has_edge(2, 1)
+
+    def test_weights_mirrored(self):
+        g = CSRGraph.from_edges(2, [(0, 1)], weights=[0.5])
+        r = add_reverse_edges(g)
+        assert r.out_edge_weights(1).tolist() == [0.5]
+
+
+class TestToUndirected:
+    def test_result_symmetric(self):
+        g = rmat(scale=6, edge_factor=4, seed=1)
+        assert is_symmetric(to_undirected(g))
+
+    def test_deduplicates(self):
+        g = CSRGraph.from_edges(2, [(0, 1), (1, 0), (0, 1)])
+        u = to_undirected(g)
+        assert u.num_edges == 2  # one edge each direction
+
+    def test_idempotent(self):
+        g = to_undirected(rmat(scale=6, edge_factor=4, seed=1))
+        again = to_undirected(g)
+        assert g.num_edges == again.num_edges
+
+
+class TestRelabel:
+    def test_permutation_preserves_structure(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        r = relabel(g, [2, 0, 1])
+        assert r.has_edge(2, 0)
+        assert r.has_edge(0, 1)
+        assert r.num_edges == 2
+
+    def test_identity(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        r = relabel(g, [0, 1, 2])
+        assert sorted(r.edges()) == sorted(g.edges())
+
+    def test_non_permutation_rejected(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            relabel(g, [0, 0, 1])
+
+    def test_wrong_length_rejected(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            relabel(g, [0, 1])
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_relabel_preserves_degree_multiset(self, seed):
+        g = rmat(scale=5, edge_factor=3, seed=seed % 17)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.num_vertices)
+        r = relabel(g, perm)
+        assert sorted(r.out_degrees()) == sorted(g.out_degrees())
+        assert sorted(r.in_degrees()) == sorted(g.in_degrees())
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub = induced_subgraph(g, [0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+
+    def test_relabels_to_dense_range(self):
+        g = CSRGraph.from_edges(4, [(1, 3)])
+        sub = induced_subgraph(g, [1, 3])
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+
+    def test_duplicate_vertices_collapsed(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        sub = induced_subgraph(g, [0, 0, 1])
+        assert sub.num_vertices == 2
+
+    def test_out_of_range_rejected(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            induced_subgraph(g, [0, 7])
+
+    def test_empty_selection(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        sub = induced_subgraph(g, [])
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+
+class TestRemoveSelfLoops:
+    def test_removes_only_loops(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        r = remove_self_loops(g)
+        assert r.num_edges == 1
+        assert r.has_edge(0, 1)
+
+    def test_noop_without_loops(self):
+        g = path_graph(4)
+        assert remove_self_loops(g).num_edges == g.num_edges
+
+
+class TestVertexWeights:
+    def test_deterministic(self):
+        a = with_vertex_weights(10, seed=1)
+        b = with_vertex_weights(10, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_strictly_positive_by_default(self):
+        w = with_vertex_weights(1000, seed=3)
+        assert np.all(w > 0)

@@ -1,0 +1,93 @@
+"""Metamorphic properties: results must be invariant under graph
+relabeling and isolated-vertex padding, for every engine.
+
+These catch an entire class of indexing bugs (partition boundaries,
+master/mirror bookkeeping, local CSR slicing) that example-based tests
+rarely hit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, connected_components, kcore
+from repro.engine import make_engine
+from repro.graph import CSRGraph, erdos_renyi, relabel, to_undirected
+
+
+def random_graph(seed):
+    return to_undirected(erdos_renyi(36, 180, seed=seed))
+
+
+def random_permutation(n, seed):
+    return np.random.default_rng(seed).permutation(n)
+
+
+class TestRelabelInvariance:
+    @given(st.integers(0, 2000), st.sampled_from(["gemini", "symple"]))
+    @settings(max_examples=12, deadline=None)
+    def test_bfs_depths_permute_with_vertices(self, seed, kind):
+        graph = random_graph(seed)
+        perm = random_permutation(graph.num_vertices, seed + 1)
+        relabeled = relabel(graph, perm)
+
+        root = int(np.argmax(graph.out_degrees()))
+        original = bfs(make_engine(kind, graph, 4), root)
+        mapped = bfs(make_engine(kind, relabeled, 4), int(perm[root]))
+
+        # depth'[perm[v]] == depth[v]
+        assert np.array_equal(mapped.depth[perm], original.depth)
+
+    @given(st.integers(0, 2000), st.sampled_from([2, 3]))
+    @settings(max_examples=10, deadline=None)
+    def test_kcore_membership_permutes(self, seed, k):
+        graph = random_graph(seed)
+        perm = random_permutation(graph.num_vertices, seed + 1)
+        relabeled = relabel(graph, perm)
+        original = kcore(make_engine("symple", graph, 4), k=k).in_core
+        mapped = kcore(make_engine("symple", relabeled, 4), k=k).in_core
+        assert np.array_equal(mapped[perm], original)
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=10, deadline=None)
+    def test_cc_partition_structure_permutes(self, seed):
+        graph = random_graph(seed)
+        perm = random_permutation(graph.num_vertices, seed + 1)
+        relabeled = relabel(graph, perm)
+        original = connected_components(make_engine("gemini", graph, 4)).label
+        mapped = connected_components(
+            make_engine("gemini", relabeled, 4)
+        ).label
+        # same-component relation is preserved under the permutation
+        n = graph.num_vertices
+        for a in range(0, n, 5):
+            for b in range(0, n, 7):
+                assert (original[a] == original[b]) == (
+                    mapped[perm[a]] == mapped[perm[b]]
+                )
+
+
+class TestPaddingInvariance:
+    @given(st.integers(0, 2000), st.integers(1, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_isolated_padding_does_not_change_core(self, seed, pad):
+        graph = random_graph(seed)
+        src, dst = graph.edge_array()
+        padded = CSRGraph(graph.num_vertices + pad, src, dst)
+        original = kcore(make_engine("symple", graph, 4), k=2).in_core
+        with_pad = kcore(make_engine("symple", padded, 4), k=2).in_core
+        assert np.array_equal(with_pad[: graph.num_vertices], original)
+        assert not with_pad[graph.num_vertices :].any()
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=8, deadline=None)
+    def test_machine_count_does_not_change_results(self, seed):
+        graph = random_graph(seed)
+        root = int(np.argmax(graph.out_degrees()))
+        depths = [
+            bfs(make_engine("symple", graph, p), root).depth
+            for p in (1, 2, 5, 8)
+        ]
+        for d in depths[1:]:
+            assert np.array_equal(d, depths[0])

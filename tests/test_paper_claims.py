@@ -1,0 +1,196 @@
+"""Headline claims of the evaluation section, as executable assertions.
+
+These run a reduced version of the paper's Table 4/5/6 matrix on one
+dataset and assert the *shape* results hold: who wins, in which
+direction the ratios point.  The full sweeps live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import kcore_peel
+from repro.bench import dataset, geomean, run_algorithm, speedup
+from repro.engine import SympleOptions, make_engine
+from repro.runtime import SINGLE_THREAD_COST
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the (engine x algorithm) matrix once on s28, 16 machines."""
+    g = dataset("s28")
+    out = {}
+    for algo in ("bfs", "kcore", "mis", "sampling"):
+        for engine in ("gemini", "symple"):
+            out[(engine, algo)] = run_algorithm(
+                engine, g, algo, num_machines=16, bfs_roots=2,
+                kmeans_rounds=1, seed=1,
+            )
+    out[("dgalois", "mis")] = run_algorithm(
+        "dgalois", g, "mis", num_machines=16, seed=1
+    )
+    return out
+
+
+class TestTable4Shape:
+    def test_symple_beats_gemini_on_dependency_algorithms(self, results):
+        for algo in ("bfs", "kcore", "mis"):
+            sp = speedup(results[("gemini", algo)], results[("symple", algo)])
+            assert sp > 1.0, f"{algo}: {sp:.2f}"
+
+    def test_average_speedup_in_paper_band(self, results):
+        """Paper: 1.42x geomean over Gemini (up to 2.30x)."""
+        sps = [
+            speedup(results[("gemini", a)], results[("symple", a)])
+            for a in ("bfs", "kcore", "mis", "sampling")
+        ]
+        assert 1.1 < geomean(sps) < 2.5
+
+    def test_dgalois_slower_than_gemini_at_16(self, results):
+        assert (
+            results[("dgalois", "mis")].simulated_time
+            > results[("gemini", "mis")].simulated_time
+        )
+
+
+class TestTable5Shape:
+    def test_edge_reduction_everywhere(self, results):
+        for algo in ("bfs", "kcore", "mis", "sampling"):
+            ratio = (
+                results[("symple", algo)].edges_traversed
+                / results[("gemini", algo)].edges_traversed
+            )
+            assert ratio < 0.9, f"{algo}: {ratio:.2f}"
+
+    def test_sampling_has_deepest_reduction(self, results):
+        """Paper Table 5: sampling shows the lowest traversal ratio."""
+        ratios = {
+            algo: results[("symple", algo)].edges_traversed
+            / results[("gemini", algo)].edges_traversed
+            for algo in ("bfs", "kcore", "mis", "sampling")
+        }
+        assert ratios["sampling"] <= min(ratios["kcore"], ratios["mis"]) + 0.05
+
+    def test_higher_edge_factor_bigger_savings(self):
+        """Paper Section 7.3: s27 (edge factor 32) saves more than s29
+        (edge factor 8) — denser graphs break earlier."""
+        ratios = {}
+        for name in ("s27", "s29"):
+            g = dataset(name)
+            gem = run_algorithm("gemini", g, "mis", num_machines=16, seed=2)
+            sym = run_algorithm("symple", g, "mis", num_machines=16, seed=2)
+            ratios[name] = sym.edges_traversed / gem.edges_traversed
+        assert ratios["s27"] < ratios["s29"]
+
+
+class TestTable6Shape:
+    def test_total_communication_reduced_for_bit_dep_algorithms(self, results):
+        for algo in ("bfs", "kcore", "mis"):
+            assert (
+                results[("symple", algo)].total_bytes
+                < results[("gemini", algo)].total_bytes
+            ), algo
+
+    def test_dependency_traffic_small_for_control_only(self, results):
+        for algo in ("bfs", "kcore", "mis"):
+            share = (
+                results[("symple", algo)].dep_bytes
+                / results[("gemini", algo)].total_bytes
+            )
+            assert share < 0.05, f"{algo}: {share:.3f}"
+
+    def test_sampling_dependency_dominates(self, results):
+        """The float-per-vertex dependency makes sampling the one case
+        where SympleGraph's total can exceed Gemini's."""
+        sym = results[("symple", "sampling")]
+        gem = results[("gemini", "sampling")]
+        assert sym.dep_bytes > 0.5 * gem.total_bytes
+
+    def test_update_traffic_always_reduced(self, results):
+        for algo in ("bfs", "kcore", "mis", "sampling"):
+            assert (
+                results[("symple", algo)].update_bytes
+                <= results[("gemini", algo)].update_bytes
+            ), algo
+
+
+class TestScalabilityShape:
+    def test_gemini_stops_scaling_at_eight(self):
+        """Figure 10: Gemini's best machine count is ~8."""
+        g = dataset("s27")
+        times = {
+            p: run_algorithm("gemini", g, "mis", num_machines=p, seed=1).simulated_time
+            for p in (2, 8, 16)
+        }
+        assert times[8] < times[2]
+        assert times[16] >= times[8] * 0.98  # flat or worse past 8
+
+    def test_symple_degrades_less_than_gemini(self):
+        g = dataset("s27")
+        sym = {
+            p: run_algorithm("symple", g, "mis", num_machines=p, seed=1).simulated_time
+            for p in (8, 16)
+        }
+        gem = {
+            p: run_algorithm("gemini", g, "mis", num_machines=p, seed=1).simulated_time
+            for p in (8, 16)
+        }
+        assert sym[16] / sym[8] < gem[16] / gem[8]
+
+
+class TestKCorePeelComparison:
+    def test_peel_wins_on_social_graphs(self):
+        """Section 7.2: the linear algorithm is significantly faster on
+        tw/fr (long chains force many iterative rounds)."""
+        g = dataset("tw")
+        iterative = run_algorithm(
+            "symple", g, "kcore", num_machines=16, kcore_k=2
+        )
+        peel = kcore_peel(g, 2, SINGLE_THREAD_COST)
+        assert peel.simulated_time < 0.5 * iterative.simulated_time
+
+    def test_peel_loses_on_big_rmat(self):
+        """...but slower than SympleGraph on the synthesized graphs."""
+        g = dataset("s27")
+        iterative = run_algorithm(
+            "symple", g, "kcore", num_machines=16, kcore_k=8
+        )
+        peel = kcore_peel(g, 8, SINGLE_THREAD_COST)
+        assert peel.simulated_time > iterative.simulated_time
+
+
+class TestFig11Shape:
+    def test_double_buffering_helps(self):
+        g = dataset("s27")
+        base = run_algorithm(
+            "symple", g, "mis", num_machines=16,
+            options=SympleOptions(double_buffering=False, differentiated=False),
+        )
+        with_db = run_algorithm(
+            "symple", g, "mis", num_machines=16,
+            options=SympleOptions(double_buffering=True, differentiated=False),
+        )
+        assert with_db.simulated_time < base.simulated_time
+
+    def test_naive_schedule_much_slower(self):
+        g = dataset("s27")
+        circulant = run_algorithm("symple", g, "mis", num_machines=8)
+        naive = run_algorithm(
+            "symple", g, "mis", num_machines=8,
+            options=SympleOptions(schedule="naive"),
+        )
+        assert naive.simulated_time > 2 * circulant.simulated_time
+
+
+class TestCOSTMetric:
+    def test_cost_is_small(self):
+        """Section 7.4: COST of SympleGraph ~3-4 machines."""
+        g = dataset("s27")
+        single = run_algorithm("single", g, "mis", num_machines=1, seed=1)
+        crossover = None
+        for p in (1, 2, 4, 8):
+            sym = run_algorithm("symple", g, "mis", num_machines=p, seed=1)
+            if sym.simulated_time < single.simulated_time:
+                crossover = p
+                break
+        assert crossover is not None
+        assert crossover <= 8

@@ -1,0 +1,79 @@
+"""Balanced contiguous chunking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition import balanced_chunks, chunk_of
+
+
+class TestBalancedChunks:
+    def test_uniform_weights_split_evenly(self):
+        b = balanced_chunks(np.ones(100), 4, alpha=0.0)
+        assert b.tolist() == [0, 25, 50, 75, 100]
+
+    def test_boundaries_cover_range(self):
+        b = balanced_chunks(np.arange(50), 7)
+        assert b[0] == 0
+        assert b[-1] == 50
+
+    def test_boundaries_monotone(self):
+        rng = np.random.default_rng(0)
+        b = balanced_chunks(rng.integers(0, 100, 200), 8)
+        assert np.all(np.diff(b) >= 0)
+
+    def test_single_chunk(self):
+        b = balanced_chunks(np.ones(10), 1)
+        assert b.tolist() == [0, 10]
+
+    def test_more_chunks_than_items(self):
+        b = balanced_chunks(np.ones(3), 8)
+        assert b[0] == 0 and b[-1] == 3
+        assert np.all(np.diff(b) >= 0)
+
+    def test_zero_chunks_rejected(self):
+        with pytest.raises(PartitionError):
+            balanced_chunks(np.ones(5), 0)
+
+    def test_skewed_load_balances_weight_not_count(self):
+        # One heavy vertex: with alpha=0, it should get its own chunk
+        # region while light vertices pack together.
+        weights = np.ones(100)
+        weights[0] = 1000
+        b = balanced_chunks(weights, 2, alpha=0.0)
+        # heavy vertex alone carries > half the total, so the split
+        # lands right after it
+        assert b[1] <= 2
+
+    @given(st.integers(1, 12), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_loads_within_one_item_of_ideal(self, chunks, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 20, 64).astype(float)
+        b = balanced_chunks(weights, chunks, alpha=1.0)
+        load = weights + 1.0
+        total = load.sum()
+        max_item = load.max()
+        for i in range(chunks):
+            chunk_load = load[b[i] : b[i + 1]].sum()
+            # a greedy contiguous split can overshoot by at most one item
+            assert chunk_load <= total / chunks + max_item
+
+
+class TestChunkOf:
+    def test_maps_vertices_to_chunks(self):
+        b = np.array([0, 3, 6, 10])
+        v = np.array([0, 2, 3, 5, 6, 9])
+        assert chunk_of(b, v).tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_roundtrip_with_balanced_chunks(self):
+        weights = np.ones(40)
+        b = balanced_chunks(weights, 5)
+        assignment = chunk_of(b, np.arange(40))
+        for i in range(5):
+            members = np.flatnonzero(assignment == i)
+            if members.size:
+                assert members.min() >= b[i]
+                assert members.max() < b[i + 1]

@@ -1,0 +1,118 @@
+"""Outgoing and incoming edge-cut partition semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import CSRGraph, rmat, to_undirected
+from repro.partition import IncomingEdgeCut, OutgoingEdgeCut
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=6, seed=11))
+
+
+class TestOutgoingEdgeCut:
+    def test_edge_owned_by_source_master(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 4)
+        src = np.repeat(np.arange(graph.num_vertices), graph.out_degrees())
+        assert np.array_equal(part.out_edge_owner, part.master_of[src])
+
+    def test_out_edges_local_to_master(self, graph):
+        """The defining property: all out-edges of v on master(v)."""
+        part = OutgoingEdgeCut().partition(graph, 4)
+        for v in range(0, graph.num_vertices, 17):
+            m = int(part.master_of[v])
+            assert part.local_out(m).degree(v) == graph.out_degree(v)
+
+    def test_in_edges_scattered(self, graph):
+        """In-edges of a high-degree vertex span several machines."""
+        part = OutgoingEdgeCut().partition(graph, 4)
+        hub = int(np.argmax(graph.in_degrees()))
+        holders = [
+            m for m in range(4) if part.local_in(m).degree(hub) > 0
+        ]
+        assert len(holders) > 1
+
+    def test_validates(self, graph):
+        OutgoingEdgeCut().partition(graph, 4).validate()
+
+    def test_single_machine(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 1)
+        assert part.num_machines == 1
+        assert part.local_in(0).num_edges == graph.num_edges
+        assert part.in_mirrors_of(0).size == 0
+
+    def test_masters_partition_vertices(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 5)
+        all_masters = np.concatenate(
+            [part.masters_of(m) for m in range(5)]
+        )
+        assert sorted(all_masters.tolist()) == list(range(graph.num_vertices))
+
+    def test_zero_machines_rejected(self, graph):
+        with pytest.raises(PartitionError):
+            OutgoingEdgeCut().partition(graph, 0)
+
+
+class TestIncomingEdgeCut:
+    def test_in_edges_local_to_master(self, graph):
+        """Incoming edge-cut: dependency problem vanishes (Section 2.3)."""
+        part = IncomingEdgeCut().partition(graph, 4)
+        for v in range(0, graph.num_vertices, 17):
+            m = int(part.master_of[v])
+            assert part.local_in(m).degree(v) == graph.in_degree(v)
+
+    def test_no_in_mirrors(self, graph):
+        part = IncomingEdgeCut().partition(graph, 4)
+        for m in range(4):
+            assert part.in_mirrors_of(m).size == 0
+
+    def test_validates(self, graph):
+        IncomingEdgeCut().partition(graph, 3).validate()
+
+
+class TestMirrors:
+    def test_in_mirror_definition(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 4)
+        for m in range(4):
+            for v in part.in_mirrors_of(m)[:20]:
+                v = int(v)
+                assert part.master_of[v] != m
+                assert part.local_in(m).degree(v) > 0
+
+    def test_replica_count_bounds(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 4)
+        for v in range(0, graph.num_vertices, 31):
+            count = part.in_replica_count(v)
+            assert 0 <= count <= 4
+            if graph.in_degree(v) > 0:
+                assert count >= 1
+
+    def test_num_in_mirrors_consistent(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 4)
+        manual = sum(part.in_mirrors_of(m).size for m in range(4))
+        assert part.num_in_mirrors() == manual
+
+    def test_mirror_count_grows_with_machines(self, graph):
+        """More machines -> more replication -> more update traffic;
+        the root cause of the Figure 10 scalability wall."""
+        counts = [
+            OutgoingEdgeCut().partition(graph, p).num_in_mirrors()
+            for p in (2, 4, 8)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(0, [])
+        part = OutgoingEdgeCut().partition(g, 3)
+        assert part.num_machines == 3
+
+    def test_edgeless_graph(self):
+        g = CSRGraph.from_edges(6, [])
+        part = OutgoingEdgeCut().partition(g, 2)
+        part.validate()
+        assert part.local_in(0).num_edges == 0

@@ -1,0 +1,102 @@
+"""Hybrid (PowerLyra-style) cut: placement rules and composition with
+dependency propagation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, kcore, mis
+from repro.engine import GeminiEngine, SympleGraphEngine, SympleOptions
+from repro.graph import rmat, star_graph, to_undirected
+from repro.partition import OutgoingEdgeCut
+from repro.partition.hybrid import HybridCut
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=8, seed=97))
+
+
+class TestPlacementRules:
+    def test_validates(self, graph):
+        HybridCut(threshold=8).partition(graph, 4).validate()
+
+    def test_low_degree_in_edges_local(self, graph):
+        part = HybridCut(threshold=8).partition(graph, 4)
+        low = np.flatnonzero(graph.in_degrees() < 8)
+        for v in low[::9]:
+            v = int(v)
+            m = int(part.master_of[v])
+            assert part.local_in(m).degree(v) == graph.in_degree(v)
+
+    def test_high_degree_in_edges_spread(self, graph):
+        part = HybridCut(threshold=8).partition(graph, 4)
+        hub = int(np.argmax(graph.in_degrees()))
+        holders = sum(
+            1 for m in range(4) if part.local_in(m).degree(hub) > 0
+        )
+        assert holders > 1
+
+    def test_threshold_zero_degenerates_to_outgoing_cut(self, graph):
+        hybrid = HybridCut(threshold=0).partition(graph, 4)
+        outgoing = OutgoingEdgeCut().partition(graph, 4)
+        assert np.array_equal(hybrid.in_edge_owner, outgoing.in_edge_owner)
+
+    def test_huge_threshold_degenerates_to_incoming_cut(self, graph):
+        part = HybridCut(threshold=10**9).partition(graph, 4)
+        for m in range(4):
+            assert part.in_mirrors_of(m).size == 0
+
+    def test_fewer_mirrors_than_outgoing_cut(self, graph):
+        """The point of the hybrid cut: low-degree locality removes
+        most mirrors."""
+        hybrid = HybridCut(threshold=8).partition(graph, 4)
+        outgoing = OutgoingEdgeCut().partition(graph, 4)
+        assert hybrid.num_in_mirrors() < outgoing.num_in_mirrors()
+
+
+class TestComposesWithDependencyPropagation:
+    """The paper: 'In SympleGraph, differentiation is relevant to
+    dependency communication, and it is orthogonal to graph
+    partition.'"""
+
+    def make(self, graph, kind, threshold=8):
+        part = HybridCut(threshold=threshold).partition(graph, 4)
+        if kind == "gemini":
+            return GeminiEngine(part)
+        return SympleGraphEngine(
+            part, options=SympleOptions(degree_threshold=0)
+        )
+
+    def test_identical_results(self, graph):
+        gem = mis(self.make(graph, "gemini"), seed=5).in_mis
+        sym = mis(self.make(graph, "symple"), seed=5).in_mis
+        assert np.array_equal(gem, sym)
+
+    def test_symple_still_saves_edges(self, graph):
+        gemini = self.make(graph, "gemini")
+        symple = self.make(graph, "symple")
+        kcore(gemini, k=4)
+        kcore(symple, k=4)
+        assert (
+            symple.counters.edges_traversed
+            < gemini.counters.edges_traversed
+        )
+
+    def test_bfs_depths_match_edge_cut(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        hybrid = bfs(self.make(graph, "symple"), root).depth
+        edge_cut = bfs(
+            SympleGraphEngine(OutgoingEdgeCut().partition(graph, 4)), root
+        ).depth
+        assert np.array_equal(hybrid, edge_cut)
+
+    def test_hybrid_reduces_update_traffic(self, graph):
+        """Fewer mirrors -> fewer mirror-to-master update messages."""
+        hybrid_engine = self.make(graph, "gemini")
+        edge_cut_engine = GeminiEngine(OutgoingEdgeCut().partition(graph, 4))
+        mis(hybrid_engine, seed=2)
+        mis(edge_cut_engine, seed=2)
+        assert (
+            hybrid_engine.counters.update_bytes
+            < edge_cut_engine.counters.update_bytes
+        )

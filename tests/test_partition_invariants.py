@@ -1,0 +1,83 @@
+"""Property-based partition invariants across all strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import erdos_renyi
+from repro.partition import (
+    CartesianVertexCut,
+    HashVertexCut,
+    HybridCut,
+    IncomingEdgeCut,
+    OutgoingEdgeCut,
+)
+
+STRATEGIES = [
+    OutgoingEdgeCut(),
+    IncomingEdgeCut(),
+    HashVertexCut(),
+    CartesianVertexCut(),
+    HybridCut(threshold=6),
+]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+class TestUniversalInvariants:
+    @given(
+        seed=st.integers(0, 1000),
+        machines=st.sampled_from([1, 2, 3, 4, 6, 8]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_every_edge_stored_exactly_once(self, strategy, seed, machines):
+        graph = erdos_renyi(40, 150, seed=seed)
+        part = strategy.partition(graph, machines)
+        part.validate()
+        total = sum(
+            part.local_in(m).num_edges for m in range(part.num_machines)
+        )
+        assert total == graph.num_edges
+
+    @given(
+        seed=st.integers(0, 1000),
+        machines=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_local_adjacency_reconstructs_graph(self, strategy, seed, machines):
+        graph = erdos_renyi(30, 120, seed=seed)
+        part = strategy.partition(graph, machines)
+        # Union of per-machine in-CSRs = global in-CSR, as multisets.
+        for v in range(graph.num_vertices):
+            pieces = []
+            for m in range(part.num_machines):
+                pieces.extend(part.local_in(m).neighbors(v).tolist())
+            assert sorted(pieces) == sorted(graph.in_neighbors(v).tolist())
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_in_out_owner_describe_same_placement(self, strategy, seed):
+        graph = erdos_renyi(25, 100, seed=seed)
+        part = strategy.partition(graph, 4)
+        # Per-machine multisets of (src, dst) pairs must agree between
+        # the in-ordered and the out-ordered ownership views.
+        for m in range(4):
+            in_pairs = []
+            out_pairs = []
+            for v in range(graph.num_vertices):
+                in_pairs.extend(
+                    (int(u), v) for u in part.local_in(m).neighbors(v)
+                )
+                out_pairs.extend(
+                    (v, int(w)) for w in part.local_out(m).neighbors(v)
+                )
+            assert sorted(in_pairs) == sorted(out_pairs)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_master_assignment_total(self, strategy, seed):
+        graph = erdos_renyi(35, 80, seed=seed)
+        part = strategy.partition(graph, 4)
+        assert part.master_of.shape == (35,)
+        assert np.all(part.master_of >= 0)
+        assert np.all(part.master_of < 4)

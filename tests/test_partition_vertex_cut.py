@@ -1,0 +1,102 @@
+"""Hash and Cartesian vertex-cut partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import rmat, to_undirected
+from repro.partition import CartesianVertexCut, HashVertexCut, grid_shape
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(rmat(scale=8, edge_factor=6, seed=13))
+
+
+class TestGridShape:
+    def test_perfect_square(self):
+        assert grid_shape(16) == (4, 4)
+
+    def test_rectangle(self):
+        assert grid_shape(8) == (2, 4)
+
+    def test_prime(self):
+        assert grid_shape(7) == (1, 7)
+
+    def test_one(self):
+        assert grid_shape(1) == (1, 1)
+
+
+class TestHashVertexCut:
+    def test_validates(self, graph):
+        HashVertexCut().partition(graph, 4).validate()
+
+    def test_deterministic(self, graph):
+        a = HashVertexCut().partition(graph, 4)
+        b = HashVertexCut().partition(graph, 4)
+        assert np.array_equal(a.in_edge_owner, b.in_edge_owner)
+
+    def test_roughly_balanced(self, graph):
+        part = HashVertexCut().partition(graph, 4)
+        counts = np.bincount(part.in_edge_owner, minlength=4)
+        assert counts.min() > 0.6 * counts.mean()
+        assert counts.max() < 1.4 * counts.mean()
+
+    def test_both_directions_split(self, graph):
+        """Vertex-cut splits in- AND out-edges of hub vertices."""
+        part = HashVertexCut().partition(graph, 4)
+        hub = int(np.argmax(graph.in_degrees()))
+        in_holders = sum(
+            1 for m in range(4) if part.local_in(m).degree(hub) > 0
+        )
+        out_holders = sum(
+            1 for m in range(4) if part.local_out(m).degree(hub) > 0
+        )
+        assert in_holders > 1
+        assert out_holders > 1
+
+
+class TestCartesianVertexCut:
+    def test_validates(self, graph):
+        CartesianVertexCut().partition(graph, 4).validate()
+
+    def test_edge_placement_respects_grid(self, graph):
+        rows, cols = 2, 2
+        part = CartesianVertexCut(rows, cols).partition(graph, 4)
+        # Edges stored on machine g sit at (row_block(src), col_block(dst));
+        # verify each machine's in-CSR only holds a consistent dst block.
+        for m in range(4):
+            local = part.local_in(m)
+            col = m % cols
+            dst_with_edges = np.flatnonzero(local.degrees() > 0)
+            if dst_with_edges.size == 0:
+                continue
+            # all destinations on this machine map to the same column block
+            other_cols = {
+                mm % cols
+                for mm in range(4)
+                if mm != m
+                and np.intersect1d(
+                    dst_with_edges,
+                    np.flatnonzero(part.local_in(mm).degrees() > 0),
+                ).size
+                > 0
+            }
+            assert col not in other_cols or len(other_cols - {col}) == 0
+
+    def test_explicit_grid_must_match(self, graph):
+        with pytest.raises(PartitionError):
+            CartesianVertexCut(2, 3).partition(graph, 4)
+
+    def test_partial_grid_spec_rejected(self):
+        with pytest.raises(PartitionError):
+            CartesianVertexCut(rows=2)
+
+    def test_row_bounds(self, graph):
+        part = CartesianVertexCut().partition(graph, 6)
+        assert part.in_edge_owner.max() < 6
+        assert part.in_edge_owner.min() >= 0
+
+    def test_single_machine(self, graph):
+        part = CartesianVertexCut().partition(graph, 1)
+        assert part.local_in(0).num_edges == graph.num_edges

@@ -1,0 +1,122 @@
+"""StateStore and dependency state runtime."""
+
+import numpy as np
+import pytest
+
+from repro.engine.dep import DepStore
+from repro.engine.state import StateStore
+from repro.errors import EngineError
+
+
+class TestStateStore:
+    def test_array_declaration(self):
+        s = StateStore(5)
+        arr = s.add_array("visited", bool, False)
+        assert arr.shape == (5,)
+        assert not s.visited.any()
+
+    def test_scalar_declaration(self):
+        s = StateStore(3)
+        s.add_scalar("k", 7)
+        assert s.k == 7
+
+    def test_attribute_write(self):
+        s = StateStore(3)
+        s.level = 2
+        assert s.level == 2
+
+    def test_missing_field_raises_attribute_error(self):
+        s = StateStore(3)
+        s.add_array("a", int, 0)
+        with pytest.raises(AttributeError) as err:
+            _ = s.nonexistent
+        assert "a" in str(err.value)  # lists declared fields
+
+    def test_contains_and_iter(self):
+        s = StateStore(2)
+        s.add_array("x", int, 0)
+        s.add_scalar("y", 1)
+        assert "x" in s and "y" in s
+        assert sorted(s) == ["x", "y"]
+
+    def test_array_accessor_type_check(self):
+        s = StateStore(2)
+        s.add_scalar("k", 3)
+        with pytest.raises(EngineError):
+            s.array("k")
+
+    def test_snapshot_is_deep_for_arrays(self):
+        s = StateStore(3)
+        s.add_array("a", np.int64, 1)
+        snap = s.snapshot()
+        s.a[0] = 99
+        assert snap["a"][0] == 1
+
+    def test_num_vertices(self):
+        assert StateStore(7).num_vertices == 7
+
+
+class TestDepStore:
+    def test_initial_state_clean(self):
+        store = DepStore(4, ("cnt",))
+        assert not store.skip.any()
+        assert not store.present["cnt"].any()
+
+    def test_handle_mark_break(self):
+        store = DepStore(4)
+        h = store.handle(2)
+        assert not h.skip
+        h.mark_break()
+        assert h.skip
+        assert store.skip[2]
+
+    def test_load_default_when_absent(self):
+        store = DepStore(4, ("cnt",))
+        assert store.handle(1).load("cnt", 42) == 42
+
+    def test_store_then_load(self):
+        store = DepStore(4, ("cnt",))
+        store.handle(1).store("cnt", 5)
+        assert store.handle(1).load("cnt", 0) == 5
+
+    def test_per_vertex_isolation(self):
+        store = DepStore(4, ("cnt",))
+        store.handle(0).store("cnt", 9)
+        assert store.handle(1).load("cnt", -1) == -1
+
+    def test_reset(self):
+        store = DepStore(4, ("cnt",))
+        store.handle(0).store("cnt", 3)
+        store.handle(0).mark_break()
+        store.reset()
+        assert not store.skip.any()
+        assert store.handle(0).load("cnt", 7) == 7
+
+    def test_live_mask(self):
+        store = DepStore(5)
+        store.skip[[1, 3]] = True
+        mask = store.live_mask(np.array([0, 1, 2, 3]))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_is_last_flag(self):
+        store = DepStore(2)
+        assert store.handle(0, is_last=True).is_last
+        assert not store.handle(0).is_last
+
+
+class TestControlOnlyDep:
+    def test_share_data_false_drops_data(self):
+        store = DepStore(3, ("cnt",), share_data=False)
+        h = store.handle(0)
+        h.store("cnt", 10)
+        assert h.load("cnt", 0) == 0  # data never travels
+
+    def test_share_data_false_keeps_control_bit(self):
+        store = DepStore(3, ("cnt",), share_data=False)
+        h = store.handle(0)
+        h.mark_break()
+        assert store.skip[0]
+
+    def test_no_data_arrays_allocated(self):
+        store = DepStore(3, ("cnt", "w"), share_data=False)
+        assert store.data == {}

@@ -1,0 +1,108 @@
+"""Schedule matrix and step timelines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import mis
+from repro.engine import SympleGraphEngine, SympleOptions
+from repro.graph import rmat, to_undirected
+from repro.partition import OutgoingEdgeCut
+from repro.runtime import CostModel
+from repro.runtime.counters import IterationRecord, StepRecord
+from repro.runtime.trace import (
+    StepTimeline,
+    render_schedule,
+    schedule_matrix,
+    step_timeline,
+)
+
+
+class TestScheduleMatrix:
+    @pytest.mark.parametrize("p", [2, 4, 7])
+    def test_columns_are_permutations(self, p):
+        matrix = schedule_matrix(p)
+        for s in range(p):
+            assert sorted(matrix[:, s]) == list(range(p))
+
+    @pytest.mark.parametrize("p", [2, 4, 7])
+    def test_rows_are_permutations(self, p):
+        matrix = schedule_matrix(p)
+        for m in range(p):
+            assert sorted(matrix[m, :]) == list(range(p))
+
+    def test_last_step_is_local(self):
+        """At the final step every machine processes its own partition
+        (the master receives the complete dependency state)."""
+        p = 5
+        matrix = schedule_matrix(p)
+        assert np.array_equal(matrix[:, p - 1], np.arange(p))
+
+    def test_render_contains_all_cells(self):
+        text = render_schedule(3)
+        assert "M0" in text and "M2" in text
+        assert "s0" in text and "s2" in text
+        assert "P0" in text
+
+
+def make_record(p=4, edges=1000, dep=100, steps=None):
+    rec = IterationRecord(mode="pull")
+    for _ in range(steps or p):
+        step = StepRecord(p)
+        step.high_edges[:] = edges
+        step.dep_bytes[:] = dep
+        rec.steps.append(step)
+    return rec
+
+
+class TestStepTimeline:
+    def test_shape(self):
+        tl = step_timeline(make_record(p=4), CostModel())
+        assert tl.start.shape == (4, 4)
+        assert tl.finish.shape == (4, 4)
+
+    def test_monotone_per_machine(self):
+        tl = step_timeline(make_record(p=4), CostModel())
+        for m in range(4):
+            assert np.all(np.diff(tl.finish[:, m]) > 0)
+        assert np.all(tl.finish >= tl.start)
+
+    def test_makespan_close_to_cost_model(self):
+        """The timeline's makespan matches the cost model's recursion
+        (the iteration time adds only iteration-wide terms on top)."""
+        cm = CostModel()
+        rec = make_record(p=4)
+        tl = step_timeline(rec, cm, double_buffering=True)
+        total = cm.symple_iteration_time(rec, double_buffering=True)
+        assert tl.makespan <= total
+        # iteration-wide extras are bounded: barrier + tails
+        assert total - tl.makespan < cm.iteration_overhead + 1e4
+
+    def test_double_buffering_reduces_makespan_under_latency(self):
+        cm = CostModel(latency=500.0)
+        rec = make_record(p=4, dep=0)
+        with_db = step_timeline(rec, cm, double_buffering=True)
+        without = step_timeline(rec, cm, double_buffering=False)
+        assert with_db.makespan <= without.makespan
+
+    def test_empty_record(self):
+        tl = step_timeline(IterationRecord(), CostModel())
+        assert tl.makespan == 0.0
+
+    def test_wait_time_nonnegative(self):
+        tl = step_timeline(make_record(p=4), CostModel(latency=1000.0))
+        assert np.all(tl.wait_time() >= 0)
+
+    def test_timeline_from_real_engine_run(self):
+        graph = to_undirected(rmat(scale=8, edge_factor=8, seed=3))
+        engine = SympleGraphEngine(
+            OutgoingEdgeCut().partition(graph, 4),
+            options=SympleOptions(degree_threshold=0),
+        )
+        mis(engine, seed=1)
+        pulls = [
+            rec for rec in engine.counters.iterations
+            if rec.mode == "pull" and len(rec.steps) == 4
+        ]
+        assert pulls
+        tl = step_timeline(pulls[0], CostModel())
+        assert tl.makespan > 0
