@@ -1,4 +1,4 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point (run/compare/analyze/lint/...)."""
 
 import sys
 

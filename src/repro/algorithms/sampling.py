@@ -41,11 +41,16 @@ def sampling_signal(v, nbrs, s, emit):
 
 
 def _scan_all_signal(v, nbrs, s, emit):
-    """Gemini phase 1: full local scan, emit the local weight mass."""
+    """Gemini phase 1: full local scan, emit the local weight mass.
+
+    Delta-style (emit what this scan added) so the mass is not
+    re-reported if a machine ever resumes from carried state.
+    """
     total = 0.0
+    start = total
     for u in nbrs:
         total += s.weight[u]
-    emit(total)
+    emit(total - start)
 
 
 def _select_slot(v, value, s):

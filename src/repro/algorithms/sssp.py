@@ -34,7 +34,9 @@ def sssp_signal(v, nbrs, s, emit):
         if candidate < best:
             best = candidate
     if best < s.dist[v]:
-        emit(best)
+        # min-fold into an idempotent relax-slot: re-delivering the same
+        # distance cannot double-count.
+        emit(best)  # repro: noqa[cumulative-emit]
 
 
 def _relax_slot(v, value, s):

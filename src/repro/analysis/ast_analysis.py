@@ -19,12 +19,17 @@ convention::
             emit(value)
             break               # loop-carried control dependency
 
-Analysis restrictions (mirroring the paper's Section 4.2 assumptions):
-the neighbor loop must iterate the ``nbrs`` parameter directly, carried
-variables must be initialized by a single top-level assignment before
-the loop, and the loop body must not contain nested loops or ``return``
-statements (these defeat the source-level transform, as they would the
-clang one).
+Since the dataflow rewrite, carried variables are computed from
+reaching definitions over the UDF's control-flow graph
+(:mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow`): a
+variable is carried iff a definition inside the loop flows around the
+back edge *and* a use inside the loop is upward-exposed to it.  This
+accepts shapes the seed's syntactic matcher rejected — conditional
+initialization, tuple unpacking, multiple pre-loop writes — while
+still refusing the constructs that defeat the source-level transform
+(nested loops and ``return`` inside the neighbor loop), now with
+CFG-located error messages.  The seed heuristic survives behind
+``analyze_signal(fn, legacy=True)`` for one release.
 """
 
 from __future__ import annotations
@@ -33,8 +38,10 @@ import ast
 import inspect
 import textwrap
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Optional, Tuple
+from typing import Callable, FrozenSet, Iterator, Optional, Tuple
 
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import ReachingDefinitions, loop_carried_vars
 from repro.errors import AnalysisError
 
 __all__ = ["DependencyInfo", "analyze_signal", "parse_signal", "SignalAst"]
@@ -75,6 +82,13 @@ class SignalAst:
     loop_index: int  # position of the loop in func.body
     source: str
     globals: dict = field(repr=False, default_factory=dict)
+    filename: str = "<string>"
+    line_offset: int = 0  # first source line of the def, minus one
+
+    def location(self, node: ast.AST) -> str:
+        """``file:line`` of an AST node, in absolute file coordinates."""
+        line = getattr(node, "lineno", 0) + self.line_offset
+        return f"{self.filename}:{line}"
 
 
 def parse_signal(fn: Callable) -> SignalAst:
@@ -100,6 +114,12 @@ def parse_signal(fn: Callable) -> SignalAst:
         )
     nbrs_param = params[1]
     loop, loop_index = _find_neighbor_loop(func, nbrs_param)
+    try:
+        filename = inspect.getsourcefile(fn) or "<string>"
+    except TypeError:  # pragma: no cover - builtins fail getsource first
+        filename = "<string>"
+    code = getattr(fn, "__code__", None)
+    line_offset = (code.co_firstlineno - 1) if code is not None else 0
     return SignalAst(
         func=func,
         module=module,
@@ -108,6 +128,8 @@ def parse_signal(fn: Callable) -> SignalAst:
         loop_index=loop_index,
         source=source,
         globals=getattr(fn, "__globals__", {}),
+        filename=filename,
+        line_offset=line_offset,
     )
 
 
@@ -127,6 +149,107 @@ def _find_neighbor_loop(
                 )
             return stmt, index
     return None, -1
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _check_loop_body(sig: SignalAst) -> bool:
+    """Enforce the structural restrictions on the neighbor loop.
+
+    Nested loops and ``return`` defeat the source-level transform (as
+    they would the paper's clang one); both are rejected with a
+    CFG-located message.  Breaks belonging to the loop are counted
+    here; nested function definitions are opaque scopes and ignored.
+    """
+    loop = sig.loop
+    assert loop is not None
+    has_break = False
+    for node in _walk_same_scope(loop):
+        if isinstance(node, (ast.For, ast.While)):
+            raise AnalysisError(
+                f"nested loop at {sig.location(node)}: nested loops "
+                "inside the neighbor loop are not supported by the "
+                "analyzer (restructure the UDF or use fold_while)"
+            )
+        if isinstance(node, ast.Return):
+            raise AnalysisError(
+                f"return at {sig.location(node)}: return inside the "
+                "neighbor loop defeats instrumentation; use break"
+            )
+        if isinstance(node, ast.Break):
+            has_break = True
+    return has_break
+
+
+def analyze_signal(fn: Callable, legacy: bool = False) -> DependencyInfo:
+    """Analyze a signal UDF for loop-carried dependency (first pass).
+
+    ``legacy=True`` selects the seed's syntactic heuristic (single
+    pre-loop assignment, stored-and-loaded detection) instead of the
+    CFG/dataflow backend; it is kept for one release as an escape
+    hatch and for differential testing.
+    """
+    sig = parse_signal(fn)
+    return analyze_parsed(sig, legacy=legacy)
+
+
+def analyze_parsed(sig: SignalAst, legacy: bool = False) -> DependencyInfo:
+    """Analyze an already-parsed signal."""
+    if legacy:
+        return _legacy_analyze(sig)
+    if sig.loop is None:
+        return DependencyInfo(has_neighbor_loop=False, has_break=False)
+    has_break = _check_loop_body(sig)
+    cfg = build_cfg(sig.func)
+    rd = ReachingDefinitions(cfg, sig.params)
+    header = cfg.header_of(sig.loop)
+    carried = tuple(
+        name
+        for name in loop_carried_vars(cfg, rd, header)
+        if name not in sig.params
+    )
+    return DependencyInfo(
+        has_neighbor_loop=True,
+        has_break=has_break,
+        carried_vars=carried,
+        loop_var=sig.loop.target.id,
+        nbrs_param=sig.params[1],
+    )
+
+
+# -- legacy (seed) backend ---------------------------------------------
+
+
+def _legacy_analyze(sig: SignalAst) -> DependencyInfo:
+    """The seed's syntactic analysis, verbatim."""
+    if sig.loop is None:
+        return DependencyInfo(has_neighbor_loop=False, has_break=False)
+    _check_no_return_in_loop(sig.loop)
+    has_break = _contains_break(sig.loop)
+
+    pre_loop = sig.func.body[: sig.loop_index]
+    candidates = _names_assigned(pre_loop)
+    carried = tuple(
+        sorted(name for name in candidates if _is_carried(sig.loop, name))
+    )
+    return DependencyInfo(
+        has_neighbor_loop=True,
+        has_break=has_break,
+        carried_vars=carried,
+        loop_var=sig.loop.target.id,
+        nbrs_param=sig.params[1],
+    )
 
 
 def _contains_break(loop: ast.For) -> bool:
@@ -189,30 +312,3 @@ def _check_no_return_in_loop(loop: ast.For) -> None:
                 "return inside the neighbor loop defeats instrumentation; "
                 "use break"
             )
-
-
-def analyze_signal(fn: Callable) -> DependencyInfo:
-    """Analyze a signal UDF for loop-carried dependency (first pass)."""
-    sig = parse_signal(fn)
-    return analyze_parsed(sig)
-
-
-def analyze_parsed(sig: SignalAst) -> DependencyInfo:
-    """Analyze an already-parsed signal."""
-    if sig.loop is None:
-        return DependencyInfo(has_neighbor_loop=False, has_break=False)
-    _check_no_return_in_loop(sig.loop)
-    has_break = _contains_break(sig.loop)
-
-    pre_loop = sig.func.body[: sig.loop_index]
-    candidates = _names_assigned(pre_loop)
-    carried = tuple(
-        sorted(name for name in candidates if _is_carried(sig.loop, name))
-    )
-    return DependencyInfo(
-        has_neighbor_loop=True,
-        has_break=has_break,
-        carried_vars=carried,
-        loop_var=sig.loop.target.id,
-        nbrs_param=sig.params[1],
-    )

@@ -1,0 +1,318 @@
+"""Control-flow graph construction for signal-UDF bodies.
+
+The dataflow analyses in :mod:`repro.analysis.dataflow` run over a
+conventional statement-level CFG: straight-line code groups into basic
+blocks, ``if``/``for``/``while`` split blocks and add edges, ``break``
+and ``continue`` jump to the enclosing loop's exit/header, and every
+loop's closing edge is recorded as a *back edge* — the edge a
+loop-carried dependency must cross.
+
+Blocks hold :class:`Instr` wrappers rather than raw statements because
+a compound statement contributes different reads/writes at different
+CFG points: a ``for`` header defines its target and reads its iterable
+once per iteration, while an ``if`` contributes only its test at the
+branch point (the branch bodies live in successor blocks).
+
+The builder is deliberately small: it covers the statement forms a
+signal UDF can reasonably contain and raises a located
+:class:`~repro.errors.AnalysisError` for the rest (``try``, ``match``,
+async constructs), matching the paper's stance that the source-level
+transform only needs the vertex-program subset of the language.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = ["Instr", "BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclass
+class Instr:
+    """One CFG instruction: an AST node plus its role in the block.
+
+    ``kind`` is ``"stmt"`` for a plain simple statement, ``"test"``
+    for a branch/loop condition (the node is the test *expression*),
+    or ``"for-header"`` for a ``for`` loop header (defines the loop
+    target, reads the iterable).
+    """
+
+    node: ast.AST
+    kind: str = "stmt"
+
+    @property
+    def lineno(self) -> int:
+        """Source line of the underlying AST node (function-relative)."""
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions."""
+
+    id: int
+    instrs: List[Instr] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+    label: str = ""
+
+
+class CFG:
+    """Control-flow graph of one function body.
+
+    Attributes of interest: ``blocks`` (id -> :class:`BasicBlock`),
+    ``entry``/``exit`` block ids, ``back_edges`` (set of ``(src, dst)``
+    pairs closing a loop), and ``loops`` mapping each loop-header block
+    id to its ``ast.For``/``ast.While`` node.
+    """
+
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._next_id = 0
+        self.entry = self.new_block("entry").id
+        self.exit = self.new_block("exit").id
+        self.back_edges: Set[Tuple[int, int]] = set()
+        self.loops: Dict[int, ast.stmt] = {}
+
+    # -- construction --------------------------------------------------
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        """Allocate an empty block."""
+        block = BasicBlock(id=self._next_id, label=label)
+        self._next_id += 1
+        self.blocks[block.id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int, back: bool = False) -> None:
+        """Add a directed edge; ``back=True`` records a loop back edge."""
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+        if src not in self.blocks[dst].preds:
+            self.blocks[dst].preds.append(src)
+        if back:
+            self.back_edges.add((src, dst))
+
+    # -- queries -------------------------------------------------------
+
+    def header_of(self, loop: ast.stmt) -> int:
+        """Block id of the header created for ``loop`` (For/While node)."""
+        for block_id, node in self.loops.items():
+            if node is loop:
+                return block_id
+        raise KeyError("loop node is not part of this CFG")
+
+    def forward_preds(self, block_id: int) -> List[int]:
+        """Predecessors reached without crossing a back edge."""
+        return [
+            p
+            for p in self.blocks[block_id].preds
+            if (p, block_id) not in self.back_edges
+        ]
+
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from the entry block."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.blocks[b].succs)
+        return seen
+
+    def natural_loop(self, header_id: int) -> Set[int]:
+        """Blocks of the natural loop of ``header_id`` (header included).
+
+        Union of the natural loops of every back edge targeting the
+        header: all blocks that reach a latch without passing through
+        the header.
+        """
+        loop: Set[int] = {header_id}
+        for src, dst in self.back_edges:
+            if dst != header_id:
+                continue
+            stack = [src]
+            while stack:
+                b = stack.pop()
+                if b in loop:
+                    continue
+                loop.add(b)
+                stack.extend(self.blocks[b].preds)
+        return loop
+
+    def latches(self, header_id: int) -> List[int]:
+        """Blocks with a back edge into ``header_id``."""
+        return [src for (src, dst) in self.back_edges if dst == header_id]
+
+    def instructions(self):
+        """Iterate ``(block_id, index, Instr)`` over every block."""
+        for block_id, block in self.blocks.items():
+            for index, instr in enumerate(block.instrs):
+                yield block_id, index, instr
+
+    def render(self) -> str:
+        """Compact text dump of the graph, for debugging and tests."""
+        lines = []
+        for block_id in sorted(self.blocks):
+            block = self.blocks[block_id]
+            marker = ""
+            if block_id == self.entry:
+                marker = " (entry)"
+            elif block_id == self.exit:
+                marker = " (exit)"
+            elif block_id in self.loops:
+                marker = " (loop header)"
+            succs = ", ".join(
+                f"{s}*" if (block_id, s) in self.back_edges else str(s)
+                for s in block.succs
+            )
+            lines.append(f"B{block_id}{marker} -> [{succs}]")
+            for instr in block.instrs:
+                text = ast.unparse(instr.node) if instr.node else ""
+                first = text.splitlines()[0] if text else instr.kind
+                lines.append(f"    {instr.kind}: {first}")
+        return "\n".join(lines)
+
+
+_UNSUPPORTED = (
+    ast.Try,
+    ast.Match,
+    ast.AsyncFor,
+    ast.AsyncWith,
+    ast.AsyncFunctionDef,
+)
+
+
+class _Builder:
+    """Recursive-descent CFG builder over a statement list."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        # (header_id, after_id) per enclosing loop, innermost last
+        self.loop_stack: List[Tuple[int, int]] = []
+
+    def build(self) -> None:
+        first = self.cfg.new_block("body")
+        self.cfg.add_edge(self.cfg.entry, first.id)
+        end = self.stmts(self.cfg.func.body, first.id)
+        if end is not None:
+            self.cfg.add_edge(end, self.cfg.exit)
+
+    def stmts(self, body: List[ast.stmt], cur: Optional[int]) -> Optional[int]:
+        for stmt in body:
+            if cur is None:
+                # code after a break/continue/return: keep it in the
+                # graph (with no predecessors) so reachability queries
+                # can flag it, but control never flows here.
+                cur = self.cfg.new_block("unreachable").id
+            cur = self.stmt(stmt, cur)
+        return cur
+
+    def stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        if isinstance(stmt, _UNSUPPORTED):
+            raise AnalysisError(
+                f"unsupported construct {type(stmt).__name__} at line "
+                f"{getattr(stmt, 'lineno', '?')}: signal UDFs are "
+                "restricted to straight-line code, if/for/while, and "
+                "nested function definitions"
+            )
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.While)):
+            return self._loop(stmt, cur)
+        if isinstance(stmt, ast.Break):
+            self._append(cur, Instr(stmt))
+            if not self.loop_stack:  # pragma: no cover - SyntaxError first
+                raise AnalysisError("break outside of a loop")
+            self.cfg.add_edge(cur, self.loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self._append(cur, Instr(stmt))
+            if not self.loop_stack:  # pragma: no cover - SyntaxError first
+                raise AnalysisError("continue outside of a loop")
+            self.cfg.add_edge(cur, self.loop_stack[-1][0], back=True)
+            return None
+        if isinstance(stmt, ast.Return):
+            self._append(cur, Instr(stmt))
+            self.cfg.add_edge(cur, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._append(cur, Instr(stmt))
+            self.cfg.add_edge(cur, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.With):
+            self._append(cur, Instr(stmt, kind="with-enter"))
+            return self.stmts(stmt.body, cur)
+        # plain statement (Assign, AugAssign, AnnAssign, Expr, Pass,
+        # Assert, Delete, FunctionDef, Import, Global, Nonlocal, ...)
+        self._append(cur, Instr(stmt))
+        return cur
+
+    def _append(self, block_id: int, instr: Instr) -> None:
+        self.cfg.blocks[block_id].instrs.append(instr)
+
+    def _if(self, stmt: ast.If, cur: int) -> Optional[int]:
+        self._append(cur, Instr(stmt.test, kind="test"))
+        then_block = self.cfg.new_block("then")
+        self.cfg.add_edge(cur, then_block.id)
+        then_end = self.stmts(stmt.body, then_block.id)
+
+        if stmt.orelse:
+            else_block = self.cfg.new_block("else")
+            self.cfg.add_edge(cur, else_block.id)
+            else_end = self.stmts(stmt.orelse, else_block.id)
+        else:
+            else_end = cur  # fall through the test directly
+
+        if then_end is None and else_end is None:
+            return None
+        join = self.cfg.new_block("join")
+        if then_end is not None:
+            self.cfg.add_edge(then_end, join.id)
+        if else_end is not None:
+            self.cfg.add_edge(else_end, join.id)
+        return join.id
+
+    def _loop(self, stmt, cur: int) -> int:
+        header = self.cfg.new_block("loop-header")
+        self.cfg.add_edge(cur, header.id)
+        if isinstance(stmt, ast.For):
+            self._append(header.id, Instr(stmt, kind="for-header"))
+        else:
+            self._append(header.id, Instr(stmt.test, kind="test"))
+        self.cfg.loops[header.id] = stmt
+
+        after = self.cfg.new_block("loop-after")
+        body = self.cfg.new_block("loop-body")
+        self.cfg.add_edge(header.id, body.id)
+
+        if stmt.orelse:
+            # for/while ... else: the else runs on normal exhaustion
+            # only; break jumps straight to `after`.
+            else_block = self.cfg.new_block("loop-else")
+            self.cfg.add_edge(header.id, else_block.id)
+            else_end = self.stmts(stmt.orelse, else_block.id)
+            if else_end is not None:
+                self.cfg.add_edge(else_end, after.id)
+        else:
+            self.cfg.add_edge(header.id, after.id)
+
+        self.loop_stack.append((header.id, after.id))
+        body_end = self.stmts(stmt.body, body.id)
+        self.loop_stack.pop()
+        if body_end is not None:
+            self.cfg.add_edge(body_end, header.id, back=True)
+        return after.id
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """Build the control-flow graph of a function body."""
+    cfg = CFG(func)
+    _Builder(cfg).build()
+    return cfg

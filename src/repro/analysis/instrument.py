@@ -34,6 +34,8 @@ from repro.analysis.ast_analysis import (
     analyze_parsed,
     parse_signal,
 )
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import ReachingDefinitions, definitely_assigned_at
 from repro.errors import InstrumentationError
 
 __all__ = ["AnalyzedSignal", "instrument_signal", "analyze_and_instrument"]
@@ -151,17 +153,18 @@ class _BreakInstrumenter(ast.NodeTransformer):
         return loop
 
 
-def _assigned_name(stmt: ast.stmt) -> Optional[str]:
-    """Name bound by a simple top-level assignment, if any."""
-    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
-        target = stmt.targets[0]
-        if isinstance(target, ast.Name):
-            return target.id
-    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)) and isinstance(
-        stmt.target, ast.Name
-    ):
-        return stmt.target.id
-    return None
+def _stored_names(stmt: ast.stmt) -> set[str]:
+    """All simple names (possibly) bound anywhere within a statement.
+
+    Covers plain/augmented/annotated assignment, tuple unpacking, and
+    conditional writes nested inside ``if`` branches — any Store
+    context Name in the subtree counts.
+    """
+    return {
+        node.id
+        for node in ast.walk(stmt)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+    }
 
 
 def instrument_signal(fn: Callable) -> AnalyzedSignal:
@@ -183,29 +186,33 @@ def _transform(fn: Callable, sig: SignalAst, info: DependencyInfo) -> AnalyzedSi
     loop = sig.loop
     assert loop is not None
 
-    # Verify each carried variable has exactly one pre-loop assignment
-    # and that it sits at the top level of the function body — the
-    # restore must be inserted right after the *final* write, so any
-    # extra (possibly conditional) write would clobber the restored
-    # dependency state.
+    # Each carried variable must be bound on *every* path into the
+    # neighbor loop (conditional initialization is fine as long as all
+    # branches assign) — checked by definite-assignment dataflow at the
+    # loop header.  The restore is inserted after the *last* pre-loop
+    # statement that can write the variable, so no later write clobbers
+    # the restored dependency state and every later read (snapshot
+    # idioms like ``start = cnt``) observes it.
     pre_loop = func.body[: sig.loop_index]
-    init_counts = {name: 0 for name in carried}
-    top_level = {name: 0 for name in carried}
-    for stmt in pre_loop:
-        name = _assigned_name(stmt)
-        if name in top_level:
-            top_level[name] += 1
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-                if node.id in init_counts:
-                    init_counts[node.id] += 1
+    cfg = build_cfg(func)
+    rd = ReachingDefinitions(cfg, sig.params)
+    header = cfg.header_of(loop)
+    restore_after = {}
+    for index, stmt in enumerate(pre_loop):
+        for name in _stored_names(stmt):
+            if name in carried:
+                restore_after[name] = index
     for name in carried:
-        if init_counts[name] != 1 or top_level[name] != 1:
+        if not definitely_assigned_at(cfg, rd, header, name):
             raise InstrumentationError(
-                f"carried variable {name!r} must have exactly one "
-                f"top-level initialization before the neighbor loop "
-                f"(found {init_counts[name]} assignment(s), "
-                f"{top_level[name]} at top level)"
+                f"carried variable {name!r} must be initialized on every "
+                f"path before the neighbor loop at {sig.location(loop)} "
+                "(add an initialization or an else branch)"
+            )
+        if name not in restore_after:  # pragma: no cover - definite
+            # assignment above implies a pre-loop write exists
+            raise InstrumentationError(
+                f"carried variable {name!r} has no pre-loop initialization"
             )
 
     new_func = ast.FunctionDef(
@@ -225,11 +232,11 @@ def _transform(fn: Callable, sig: SignalAst, info: DependencyInfo) -> AnalyzedSi
     )
 
     body: list[ast.stmt] = [_skip_prologue()]
-    for stmt in pre_loop:
+    for index, stmt in enumerate(pre_loop):
         body.append(stmt)
-        name = _assigned_name(stmt)
-        if name in init_counts:
-            body.append(_restore_stmt(name))
+        for name in carried:
+            if restore_after.get(name) == index:
+                body.append(_restore_stmt(name))
 
     instrumented_loop = _BreakInstrumenter(carried).instrument_loop(loop)
     body.append(instrumented_loop)

@@ -1,93 +1,14 @@
-"""Static lint for signal UDFs.
+"""Static lint for signal UDFs (compatibility shim).
 
-Catches the authoring mistakes that type-check fine but corrupt results
-or waste traffic under dependency propagation:
-
-* **cumulative-emit** — emitting a carried accumulator directly.  Under
-  circulant scheduling a machine resumes from its predecessor's value,
-  so emitting the accumulator re-reports mass the predecessor already
-  emitted and the master double-counts.  The fix is the delta idiom
-  (snapshot at entry, emit the difference): see ``kcore_signal``.
-* **missing-break** — a loop-carried data variable with no break means
-  every machine scans everything and the dependency buys no skipping;
-  often intentional (PageRank), so it is a note, not a warning.
-* **emit-after-break-branch** — emit placed after the loop with no
-  guard on whether anything was accumulated locally; fires on every
-  machine and relies on slot idempotence.
-
-These are heuristics over the same AST the analyzer uses; they do not
-change execution.
+The lint implementation moved to :mod:`repro.analysis.rules`, which
+rebuilds the seed's three heuristics as registered rules over the
+CFG/dataflow facts and adds the dataflow-powered and purity rules.
+This module re-exports the stable entry points so existing imports
+(``from repro.analysis.lint import lint_signal``) keep working.
 """
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass
-from typing import Callable, List
+from repro.analysis.rules import LintConfig, LintMessage, lint_signal, lint_slot
 
-from repro.analysis.ast_analysis import analyze_parsed, parse_signal
-
-__all__ = ["LintMessage", "lint_signal"]
-
-
-@dataclass(frozen=True)
-class LintMessage:
-    """One lint finding."""
-
-    code: str
-    level: str  # "warning" | "note"
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.level}[{self.code}]: {self.message}"
-
-
-def lint_signal(fn: Callable) -> List[LintMessage]:
-    """Lint a signal UDF; returns an empty list when clean."""
-    sig = parse_signal(fn)
-    info = analyze_parsed(sig)
-    messages: List[LintMessage] = []
-    if not info.has_neighbor_loop:
-        return messages
-
-    carried = set(info.carried_vars)
-    emit_param = sig.params[3] if len(sig.params) > 3 else "emit"
-
-    if carried:
-        for call in _emit_calls(sig.func, emit_param):
-            for arg in call.args:
-                if isinstance(arg, ast.Name) and arg.id in carried:
-                    messages.append(
-                        LintMessage(
-                            "cumulative-emit",
-                            "warning",
-                            f"emit({arg.id}) passes the carried "
-                            f"accumulator {arg.id!r} directly; under "
-                            "dependency propagation the master will "
-                            "double-count — emit the local delta "
-                            "instead (see kcore_signal)",
-                        )
-                    )
-
-    if carried and not info.has_break:
-        messages.append(
-            LintMessage(
-                "missing-break",
-                "note",
-                f"carried state {sorted(carried)} without a break: "
-                "dependency propagation cannot skip any work for this "
-                "UDF (fine for full folds like PageRank)",
-            )
-        )
-
-    return messages
-
-
-def _emit_calls(func: ast.FunctionDef, emit_name: str):
-    for node in ast.walk(func):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == emit_name
-        ):
-            yield node
+__all__ = ["LintMessage", "LintConfig", "lint_signal", "lint_slot"]

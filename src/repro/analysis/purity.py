@@ -1,0 +1,184 @@
+"""Purity / side-effect checking for signal UDFs.
+
+The contract of a signal UDF (Section 2.2's ``I``) is that it is a
+*pure fold* over the neighbor sequence: it may write its own carried
+locals and call ``emit``, and nothing else.  Anything beyond that
+breaks the distribution story in one of two ways:
+
+* **hidden state** — writes to globals, mutation of the shared state
+  namespace, or mutation of any object reaching in through a parameter
+  make the signal's effect depend on machine count and scan order
+  (slots, not signals, are where cross-machine writes belong);
+* **nondeterminism** — module-level RNGs (``random``, ``np.random``),
+  clocks, or UUIDs give each machine a different answer for the same
+  vertex, so re-running a chunk after a dependency message produces a
+  different fold.  A seeded generator threaded through the state
+  parameter (``s.rng``) is fine — it is part of the replayable state.
+
+This module reports *effects*; the lint rules in
+:mod:`repro.analysis.rules` decide severity.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.analysis.ast_analysis import SignalAst, _walk_same_scope
+
+__all__ = ["Effect", "signal_effects"]
+
+# module roots whose calls are nondeterministic (or clock/entropy bound)
+_NONDET_ROOTS = frozenset({"random", "time", "uuid", "secrets"})
+# attribute path fragments that flag numpy-style module RNGs
+_NONDET_FRAGMENTS = ("random",)
+# method names that mutate their receiver in place
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "setdefault",
+        "sort",
+        "reverse",
+        "fill",
+        "put",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One detected side effect or nondeterminism source."""
+
+    kind: str  # "global-write" | "state-mutation" | "nondet-call"
+    detail: str
+    node: ast.AST
+
+    @property
+    def lineno(self) -> int:
+        """Function-relative source line of the effect."""
+        return getattr(self.node, "lineno", 0)
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """Innermost Name of an attribute/subscript/call chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _attr_path(node: ast.expr) -> List[str]:
+    """Dotted attribute path as a list, outermost last."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _stmts(sig: SignalAst) -> Iterator[ast.AST]:
+    yield from _walk_same_scope(sig.func)
+
+
+def signal_effects(sig: SignalAst) -> List[Effect]:
+    """Detect writes beyond carried locals and nondeterministic calls.
+
+    Returns one :class:`Effect` per finding; an empty list means the
+    UDF honors the write-carried-vars-and-emit contract.  Nested
+    function definitions are treated as opaque scopes.
+    """
+    params = set(sig.params)
+    effects: List[Effect] = []
+
+    for node in _stmts(sig):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            effects.append(
+                Effect(
+                    "global-write",
+                    f"declares {', '.join(node.names)} "
+                    f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}",
+                    node,
+                )
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                effects.extend(_write_effects(target, params))
+        elif isinstance(node, ast.Call):
+            effect = _call_effect(node, params)
+            if effect is not None:
+                effects.append(effect)
+    return effects
+
+
+def _write_effects(target: ast.expr, params: set) -> Iterator[Effect]:
+    """Effects of one assignment target (recursing through tuples)."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _write_effects(elt, params)
+        return
+    if isinstance(target, ast.Starred):
+        yield from _write_effects(target.value, params)
+        return
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        root = _root_name(target)
+        if root is None or root in params:
+            where = "parameter" if root in params else "expression"
+            yield Effect(
+                "state-mutation",
+                f"writes through {where} "
+                f"{root or '<expr>'!s} ({ast.unparse(target)}); signals "
+                "must only write their own carried locals — apply "
+                "cross-machine writes in the slot",
+                target,
+            )
+        # writes through a local container (e.g. a list built in the
+        # UDF) stay local to one invocation: allowed.
+
+
+def _call_effect(call: ast.Call, params: set) -> Optional[Effect]:
+    """Nondeterministic-call and parameter-mutation detection."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        path = _attr_path(func)
+        root = path[0] if path else None
+        if root is not None and root not in params:
+            if root in _NONDET_ROOTS or any(
+                frag in path[:-1] for frag in _NONDET_FRAGMENTS
+            ):
+                return Effect(
+                    "nondet-call",
+                    f"calls {'.'.join(path)}(); module-level RNGs/clocks "
+                    "give each machine a different answer — thread a "
+                    "seeded generator through the state parameter instead",
+                    call,
+                )
+        if root is not None and root in params and func.attr in _MUTATORS:
+            return Effect(
+                "state-mutation",
+                f"calls mutating method .{func.attr}() on parameter "
+                f"{root!r}; signals must not mutate shared state",
+                call,
+            )
+    elif isinstance(func, ast.Name) and func.id in _NONDET_ROOTS:
+        return Effect(
+            "nondet-call",
+            f"calls {func.id}(); nondeterministic in a signal UDF",
+            call,
+        )
+    return None

@@ -1,0 +1,524 @@
+"""Extensible lint engine for signal UDFs, built on the dataflow core.
+
+The seed linter hard-coded three heuristics; this module replaces it
+with a small rule registry.  A rule is a function decorated with
+:func:`rule` that receives a :class:`LintContext` — the parsed UDF plus
+every analysis fact the pipeline already computed (CFG, reaching
+definitions, liveness, carried variables, purity effects) — and yields
+``(message, node)`` findings.  The engine turns findings into
+:class:`LintMessage` records, applies per-line ``# repro: noqa[CODE]``
+suppressions and :class:`LintConfig` severity overrides, and orders
+warnings before notes.
+
+Rule catalog (rationale lives in each rule's docstring and is exported
+into SARIF and ``docs/API.md``):
+
+======================  ========  ==========================================
+code                    level     flags
+======================  ========  ==========================================
+cumulative-emit         warning   emitting a carried accumulator directly
+missing-break           note      carried data with no break (no skipping)
+emit-after-break        note      unguarded post-loop emit in a break UDF
+dead-carried-var        warning   accumulator updated but never read
+emit-of-undefined       warning   emit of a possibly-unassigned local
+break-unreachable       warning   break that control flow can never reach
+global-write            warning   ``global``/``nonlocal`` declarations
+state-mutation          warning   writes through parameters/shared state
+nondet-call             warning   module-level RNG/clock calls
+non-commutative-slot    note      unguarded overwrite in a slot UDF
+======================  ========  ==========================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from repro.analysis.ast_analysis import (
+    DependencyInfo,
+    SignalAst,
+    analyze_parsed,
+    parse_signal,
+    _walk_same_scope,
+)
+from repro.analysis.cfg import CFG, Instr, build_cfg
+from repro.analysis.dataflow import LiveVariables, ReachingDefinitions
+from repro.analysis.purity import Effect, signal_effects
+
+__all__ = [
+    "LintMessage",
+    "LintConfig",
+    "LintContext",
+    "rule",
+    "iter_rules",
+    "lint_signal",
+    "lint_slot",
+]
+
+LEVELS = ("error", "warning", "note")
+
+
+@dataclass(frozen=True)
+class LintMessage:
+    """One lint finding.
+
+    The first three fields keep the seed's positional layout, so
+    ``LintMessage("code", "warning", "text")`` and destructuring by
+    position keep working; the location fields default for callers
+    that construct messages by hand.
+    """
+
+    code: str
+    level: str  # "error" | "warning" | "note"
+    message: str
+    lineno: int = 0  # absolute line in ``path`` (0 = unknown)
+    func: str = ""  # UDF the finding belongs to
+    path: str = ""  # source file of the UDF
+
+    def __str__(self) -> str:
+        return f"{self.level}[{self.code}]: {self.message}"
+
+    @property
+    def location(self) -> str:
+        """``path:line`` when known, else the function name."""
+        if self.path and self.lineno:
+            return f"{self.path}:{self.lineno}"
+        return self.func or "<unknown>"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Severity configuration for a lint run.
+
+    ``overrides`` remaps a rule code to another level (``"error"``,
+    ``"warning"``, ``"note"``, or ``"off"`` to drop it); ``disabled``
+    is shorthand for mapping to ``"off"``.
+    """
+
+    overrides: Dict[str, str] = field(default_factory=dict)
+    disabled: frozenset = frozenset()
+
+    def level_for(self, code: str, default: str) -> Optional[str]:
+        """Effective level for ``code``; ``None`` means suppressed."""
+        if code in self.disabled:
+            return None
+        level = self.overrides.get(code, default)
+        return None if level == "off" else level
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at: the UDF and its analysis facts."""
+
+    sig: SignalAst
+    info: DependencyInfo
+    cfg: CFG
+    rd: ReachingDefinitions
+    live: LiveVariables
+    effects: List[Effect]
+    carried: frozenset
+    emit_name: str
+
+    @property
+    def has_break(self) -> bool:
+        """Does the neighbor loop carry a control dependency?"""
+        return self.info.has_break
+
+
+class Rule(NamedTuple):
+    """Registry entry: code, default severity, checker, rationale."""
+
+    code: str
+    level: str
+    check: Callable[[LintContext], Iterator[Tuple[str, Optional[ast.AST]]]]
+    doc: str
+
+
+_RULES: Dict[str, Rule] = {}
+
+# findings a rule yields: (message text, AST node or None for UDF-level)
+Finding = Tuple[str, Optional[ast.AST]]
+
+
+def rule(code: str, level: str) -> Callable:
+    """Register a lint rule under ``code`` with default severity ``level``.
+
+    The decorated function receives a :class:`LintContext` and yields
+    ``(message, node)`` pairs; its docstring is the rule's rationale,
+    surfaced in SARIF output and the API docs.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown lint level {level!r}; expected {LEVELS}")
+
+    def register(check: Callable) -> Callable:
+        if code in _RULES:
+            raise ValueError(f"lint rule {code!r} registered twice")
+        _RULES[code] = Rule(code, level, check, (check.__doc__ or "").strip())
+        return check
+
+    return register
+
+
+def iter_rules() -> List[Rule]:
+    """All registered rules, sorted by code (stable for reports)."""
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+# -- suppression -------------------------------------------------------
+
+_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s-]*)\])?")
+
+
+def _noqa_lines(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based source line -> suppressed codes (None = all codes)."""
+    suppressed: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        codes = match.group(1)
+        if codes is None or not codes.strip():
+            suppressed[lineno] = None
+        else:
+            suppressed[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+    return suppressed
+
+
+def _is_suppressed(
+    noqa: Dict[int, Optional[Set[str]]], code: str, rel_line: int, def_line: int
+) -> bool:
+    """Does a noqa comment cover ``code`` at function-relative line?"""
+    for line in (rel_line, def_line):
+        if line in noqa:
+            codes = noqa[line]
+            if codes is None or code in codes:
+                return True
+    return False
+
+
+# -- helpers shared by rules ------------------------------------------
+
+
+def _emit_calls(node: ast.AST, emit_name: str) -> Iterator[ast.Call]:
+    """Emit calls in the same scope (nested defs are opaque)."""
+    for child in _walk_same_scope(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id == emit_name
+        ):
+            yield child
+
+
+def _instr_exprs(instr: Instr) -> List[ast.AST]:
+    """Expression roots evaluated *at* this CFG instruction.
+
+    A ``for`` header only evaluates its iterable here (the body lives
+    in successor blocks); a ``with`` entry evaluates its context
+    expressions.  Everything else is a simple statement or a test
+    expression and is its own root.
+    """
+    node = instr.node
+    if instr.kind == "for-header":
+        return [node.iter]
+    if instr.kind == "with-enter":
+        return [item.context_expr for item in node.items]
+    return [node]
+
+
+# -- ported rules ------------------------------------------------------
+
+
+@rule("cumulative-emit", "warning")
+def _cumulative_emit(ctx: LintContext) -> Iterator[Finding]:
+    """Emitting a carried accumulator re-reports mass the predecessor
+    machine already emitted: under circulant scheduling a machine
+    resumes from its predecessor's value, so the master double-counts.
+    Emit the local delta instead (snapshot at entry, emit the
+    difference — see ``kcore_signal``)."""
+    if not ctx.carried:
+        return
+    for call in _emit_calls(ctx.sig.func, ctx.emit_name):
+        for arg in call.args:
+            if isinstance(arg, ast.Name) and arg.id in ctx.carried:
+                yield (
+                    f"emit({arg.id}) passes the carried accumulator "
+                    f"{arg.id!r} directly; under dependency propagation "
+                    "the master will double-count — emit the local delta "
+                    "instead (see kcore_signal)",
+                    call,
+                )
+
+
+@rule("missing-break", "note")
+def _missing_break(ctx: LintContext) -> Iterator[Finding]:
+    """Carried data with no ``break`` means dependency propagation
+    cannot skip any work — every machine still scans every neighbor.
+    Often intentional (full folds like PageRank), hence a note."""
+    if ctx.carried and not ctx.has_break:
+        yield (
+            f"carried state {sorted(ctx.carried)} without a break: "
+            "dependency propagation cannot skip any work for this "
+            "UDF (fine for full folds like PageRank)",
+            ctx.sig.loop,
+        )
+
+
+@rule("emit-after-break", "note")
+def _emit_after_break(ctx: LintContext) -> Iterator[Finding]:
+    """An unguarded emit after a break loop fires once per machine
+    chunk (each machine reaches the post-loop code), so the value is
+    delivered multiple times and correctness rests on slot idempotence.
+    Guard it, or derive the value from carried state so duplicates
+    cancel (the delta idiom emits zero when nothing was accumulated)."""
+    if not ctx.has_break or ctx.sig.loop_index < 0:
+        return
+    for stmt in ctx.sig.func.body[ctx.sig.loop_index + 1 :]:
+        if not isinstance(stmt, ast.Expr):
+            continue  # emits under an `if` are guarded: fine
+        for call in _emit_calls(stmt, ctx.emit_name):
+            if any(
+                isinstance(n, ast.Name) and n.id in ctx.carried
+                for arg in call.args
+                for n in ast.walk(arg)
+            ):
+                continue  # carried-derived values resume, not repeat
+            yield (
+                f"unguarded emit after the neighbor loop runs on every "
+                "machine chunk under dependency propagation; guard it or "
+                "derive the value from carried state",
+                call,
+            )
+
+
+# -- dataflow-powered rules --------------------------------------------
+
+
+@rule("dead-carried-var", "warning")
+def _dead_carried_var(ctx: LintContext) -> Iterator[Finding]:
+    """A carried variable that is only ever read by its own updates
+    (``cnt += 1`` and nothing else) is pure dependency traffic: its
+    value crosses machines but never influences an emit, a test, or
+    post-loop code.  Drop it or use it."""
+    for var in sorted(ctx.carried):
+        sites = [
+            (b, i)
+            for b, i, _ in ctx.cfg.instructions()
+            if var in ctx.rd.uses_at(b, i)
+        ]
+        if sites and all(var in ctx.rd.defs_at(b, i) for b, i in sites):
+            yield (
+                f"carried variable {var!r} is updated every iteration but "
+                "its value is never read — it travels between machines "
+                "for nothing; remove it or use it in a test or emit",
+                _first_def_node(ctx, var),
+            )
+
+
+def _first_def_node(ctx: LintContext, var: str) -> Optional[ast.AST]:
+    """AST node of the first real definition of ``var`` (for location)."""
+    best: Optional[Instr] = None
+    for d in sorted(ctx.rd.defs_by_var.get(var, ()), key=lambda d: (d.block, d.index)):
+        if d.is_real:
+            best = ctx.cfg.blocks[d.block].instrs[d.index]
+            break
+    return best.node if best is not None else None
+
+
+@rule("emit-of-undefined", "warning")
+def _emit_of_undefined(ctx: LintContext) -> Iterator[Finding]:
+    """An emit argument that reaching definitions says may still be
+    unbound on some path raises ``UnboundLocalError`` at runtime — but
+    only on the inputs that take that path, which is exactly the kind
+    of machine-dependent failure dependency propagation amplifies."""
+    for block_id, index, instr in ctx.cfg.instructions():
+        for root in _instr_exprs(instr):
+            for call in _emit_calls(root, ctx.emit_name):
+                for arg in call.args:
+                    if isinstance(arg, ast.Name) and ctx.rd.possibly_undefined(
+                        arg.id, block_id, index
+                    ):
+                        yield (
+                            f"emit({arg.id}) may read {arg.id!r} before "
+                            "assignment on some path through the UDF; "
+                            "initialize it on every path",
+                            call,
+                        )
+
+
+@rule("break-unreachable", "warning")
+def _break_unreachable(ctx: LintContext) -> Iterator[Finding]:
+    """A ``break`` in code control flow can never reach (after an
+    unconditional break/continue/return) silently disables the
+    skipping the author expected: the analyzer still records a control
+    dependency, but no execution ever marks it."""
+    reachable = ctx.cfg.reachable()
+    for block_id, _, instr in ctx.cfg.instructions():
+        if block_id in reachable:
+            continue
+        if isinstance(instr.node, ast.Break):
+            yield (
+                "break is unreachable (dead code after an unconditional "
+                "jump); the control dependency it implies never fires",
+                instr.node,
+            )
+
+
+# -- purity rules ------------------------------------------------------
+
+
+def _effect_rule(kind: str) -> Callable[[LintContext], Iterator[Finding]]:
+    """Adapter turning purity effects of one kind into findings."""
+
+    def check(ctx: LintContext) -> Iterator[Finding]:
+        for effect in ctx.effects:
+            if effect.kind == kind:
+                yield effect.detail, effect.node
+
+    return check
+
+
+@rule("global-write", "warning")
+def _global_write(ctx: LintContext) -> Iterator[Finding]:
+    """``global``/``nonlocal`` state written from a signal UDF lives on
+    one machine only; replicas diverge silently.  Signals may only
+    write their carried locals and call emit."""
+    yield from _effect_rule("global-write")(ctx)
+
+
+@rule("state-mutation", "warning")
+def _state_mutation(ctx: LintContext) -> Iterator[Finding]:
+    """Mutating objects that arrive through parameters (the state
+    namespace, the neighbor view) makes the fold order- and
+    partition-dependent.  Cross-machine writes belong in the slot,
+    where the master applies them once."""
+    yield from _effect_rule("state-mutation")(ctx)
+
+
+@rule("nondet-call", "warning")
+def _nondet_call(ctx: LintContext) -> Iterator[Finding]:
+    """Module-level RNGs, clocks, and UUID generators give each machine
+    a different answer for the same vertex, so re-running a chunk after
+    a dependency message changes the result.  Thread a seeded generator
+    through the state parameter (``s.rng``) instead."""
+    yield from _effect_rule("nondet-call")(ctx)
+
+
+# -- engine ------------------------------------------------------------
+
+_LEVEL_ORDER = {"error": 0, "warning": 1, "note": 2}
+
+
+def lint_signal(
+    fn: Callable, config: Optional[LintConfig] = None
+) -> List[LintMessage]:
+    """Lint a signal UDF; returns an empty list when clean.
+
+    UDFs without a neighbor loop have nothing to propagate and lint
+    clean by definition (the seed behavior).  Findings are ordered by
+    severity, then source line.
+    """
+    sig = parse_signal(fn)
+    info = analyze_parsed(sig)
+    if not info.has_neighbor_loop:
+        return []
+
+    cfg = build_cfg(sig.func)
+    rd = ReachingDefinitions(cfg, sig.params)
+    live = LiveVariables(cfg, rd)
+    ctx = LintContext(
+        sig=sig,
+        info=info,
+        cfg=cfg,
+        rd=rd,
+        live=live,
+        effects=signal_effects(sig),
+        carried=frozenset(info.carried_vars),
+        emit_name=sig.params[3] if len(sig.params) > 3 else "emit",
+    )
+    return _run_rules(ctx.sig, lambda spec: spec.check(ctx), config)
+
+
+def lint_slot(fn: Callable, config: Optional[LintConfig] = None) -> List[LintMessage]:
+    """Lint a slot UDF for the non-commutative-overwrite hazard.
+
+    Messages from different machines arrive in nondeterministic order,
+    so a slot that plain-assigns into per-vertex state with no guard
+    (no comparison ``if``, no first-wins early return) is only correct
+    when the update commutes.  Flagged as ``non-commutative-slot``
+    (note): the linter cannot prove non-commutativity, only that
+    nothing in the slot enforces an order.
+    """
+    sig = parse_signal(fn)
+    state_params = set(sig.params[2:]) or {sig.params[-1]}
+
+    def check(spec: Rule) -> Iterator[Finding]:
+        if spec.code != "non-commutative-slot":
+            return
+        guarded = False
+        for stmt in sig.func.body:
+            if isinstance(stmt, ast.If):
+                guarded = True  # comparison guard or first-wins return
+            if guarded or not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and isinstance(target.value.value, ast.Name)
+                    and target.value.value.id in state_params
+                ):
+                    yield (
+                        f"slot overwrites {ast.unparse(target)} with no "
+                        "guard; message arrival order is nondeterministic "
+                        "across machines, so a plain overwrite is only "
+                        "safe if the update commutes — guard with a "
+                        "comparison or fold with +=/min/max",
+                        stmt,
+                    )
+
+    return _run_rules(sig, check, config)
+
+
+@rule("non-commutative-slot", "note")
+def _non_commutative_slot(ctx: LintContext) -> Iterator[Finding]:
+    """Unguarded plain overwrite of per-vertex state in a slot UDF;
+    only safe when the update is commutative because cross-machine
+    message order is nondeterministic.  Checked by :func:`lint_slot`
+    (slots have no neighbor loop, so the signal pipeline never fires
+    this)."""
+    return iter(())
+
+
+def _run_rules(
+    sig: SignalAst,
+    findings_of: Callable[[Rule], Optional[Iterator[Finding]]],
+    config: Optional[LintConfig],
+) -> List[LintMessage]:
+    """Run every registered rule and post-process the findings."""
+    config = config or LintConfig()
+    noqa = _noqa_lines(sig.source)
+    def_line = sig.func.lineno
+    messages: List[LintMessage] = []
+    for spec in iter_rules():
+        level = config.level_for(spec.code, spec.level)
+        if level is None:
+            continue
+        for text, node in findings_of(spec) or ():
+            rel_line = getattr(node, "lineno", 0) if node is not None else 0
+            if _is_suppressed(noqa, spec.code, rel_line, def_line):
+                continue
+            messages.append(
+                LintMessage(
+                    code=spec.code,
+                    level=level,
+                    message=text,
+                    lineno=(rel_line + sig.line_offset) if rel_line else 0,
+                    func=sig.func.name,
+                    path=sig.filename,
+                )
+            )
+    messages.sort(key=lambda m: (_LEVEL_ORDER.get(m.level, 3), m.lineno, m.code))
+    return messages

@@ -6,10 +6,13 @@ Run experiments and inspect the framework without writing code::
     python -m repro run --engine symple --dataset s27 --algorithm mis
     python -m repro compare --dataset s28 --algorithm kcore --machines 16
     python -m repro analyze bfs
+    python -m repro lint src/repro/algorithms --format sarif
 
 ``run`` executes one experiment and prints the metrics the paper's
 tables report; ``compare`` runs Gemini and SympleGraph side by side;
-``analyze`` prints the analyzer report for one of the built-in UDFs.
+``analyze`` prints the analyzer report for one of the built-in UDFs;
+``lint`` runs the rule engine over signal/slot UDFs and exits 1 on
+warnings, 2 on errors (notes are informational).
 """
 
 from __future__ import annotations
@@ -77,6 +80,32 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="print the analyzer report for a built-in UDF"
     )
     analyze.add_argument("signal", choices=sorted(_load_signals()))
+
+    lint = sub.add_parser(
+        "lint", help="lint signal/slot UDFs in modules or files"
+    )
+    lint.add_argument(
+        "targets",
+        nargs="+",
+        help="a .py file, a directory, a dotted module name, or a "
+        "built-in signal name (e.g. kcore)",
+    )
+    lint.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json", "sarif"),
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="disable a rule code (repeatable)",
+    )
+    lint.add_argument(
+        "--output", default=None, help="write the report here instead of stdout"
+    )
 
     sweep = sub.add_parser(
         "sweep", help="sweep machine counts for one engine/algorithm"
@@ -165,6 +194,29 @@ def _metric_rows(results) -> List[List[object]]:
     return rows
 
 
+def _lint(args) -> int:
+    """Run ``repro lint``: discover, lint, render, exit-code."""
+    from repro.analysis.linter import run_lint
+    from repro.analysis.report import render_json, render_sarif, render_text
+    from repro.analysis.rules import LintConfig
+
+    config = LintConfig(disabled=frozenset(args.ignore))
+    run = run_lint(args.targets, config=config, named_signals=_load_signals())
+    if args.format == "json":
+        text = render_json(run.messages)
+    elif args.format == "sarif":
+        text = render_sarif(run.messages)
+    else:
+        body = render_text(run.messages)
+        text = (body + "\n" if body else "") + run.summary()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return run.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -188,6 +240,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "analyze":
         print(explain_signal(_load_signals()[args.signal]))
         return 0
+
+    if args.command == "lint":
+        return _lint(args)
 
     if args.command == "schedule":
         from repro.runtime.trace import render_schedule

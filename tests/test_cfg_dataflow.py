@@ -1,0 +1,289 @@
+"""CFG construction and the classic dataflow analyses over it."""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    Definition,
+    LiveVariables,
+    ReachingDefinitions,
+    def_use_chains,
+    definitely_assigned_at,
+    loop_carried_vars,
+)
+from repro.errors import AnalysisError
+
+
+def cfg_of(source):
+    func = ast.parse(source).body[0]
+    return build_cfg(func)
+
+
+def analyses(source, params=("v", "nbrs", "s", "emit")):
+    cfg = cfg_of(source)
+    rd = ReachingDefinitions(cfg, params)
+    return cfg, rd
+
+
+LOOP_UDF = """
+def signal(v, nbrs, s, emit):
+    cnt = 0
+    for u in nbrs:
+        cnt += 1
+        if cnt >= s.k:
+            emit(cnt)
+            break
+    done = 1
+"""
+
+
+class TestCFGShape:
+    def test_entry_and_exit_connected(self):
+        cfg = cfg_of("def f(x):\n    y = x\n    return y\n")
+        assert cfg.entry in cfg.blocks and cfg.exit in cfg.blocks
+        assert cfg.exit in cfg.reachable()
+
+    def test_loop_records_header_and_back_edge(self):
+        cfg = cfg_of(LOOP_UDF)
+        assert len(cfg.loops) == 1
+        header = next(iter(cfg.loops))
+        assert any(dst == header for _, dst in cfg.back_edges)
+        assert cfg.latches(header)
+
+    def test_natural_loop_contains_body_not_after(self):
+        cfg = cfg_of(LOOP_UDF)
+        header = next(iter(cfg.loops))
+        loop = cfg.natural_loop(header)
+        texts = [
+            ast.unparse(i.node)
+            for b in loop
+            for i in cfg.blocks[b].instrs
+            if i.kind == "stmt"
+        ]
+        assert any("cnt += 1" in t for t in texts)
+        assert not any("done = 1" in t for t in texts)
+
+    def test_if_else_creates_join(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        y = 1\n"
+            "    else:\n"
+            "        y = 2\n"
+            "    return y\n"
+        )
+        labels = [b.label for b in cfg.blocks.values()]
+        assert "then" in labels and "else" in labels and "join" in labels
+
+    def test_continue_is_a_back_edge(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            continue\n"
+            "        y = x\n"
+        )
+        header = next(iter(cfg.loops))
+        assert len(cfg.latches(header)) == 2  # fallthrough + continue
+
+    def test_code_after_break_is_unreachable(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        break\n"
+            "        dead = 1\n"
+        )
+        reachable = cfg.reachable()
+        dead_blocks = [
+            b
+            for b, block in cfg.blocks.items()
+            if any(
+                isinstance(i.node, ast.Assign)
+                and ast.unparse(i.node) == "dead = 1"
+                for i in block.instrs
+            )
+        ]
+        assert dead_blocks and all(b not in reachable for b in dead_blocks)
+
+    def test_loop_else_runs_on_exhaustion_only(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "    else:\n"
+            "        y = 1\n"
+        )
+        header = next(iter(cfg.loops))
+        after = [b for b in cfg.blocks.values() if b.label == "loop-after"][0]
+        # exhaustion goes through the loop-else block, never straight
+        # to loop-after; only the break edge skips the else
+        assert header not in after.preds
+        else_ids = [b.id for b in cfg.blocks.values() if b.label == "loop-else"]
+        assert else_ids and else_ids[0] in cfg.blocks[header].succs
+
+    def test_render_marks_special_blocks(self):
+        text = cfg_of(LOOP_UDF).render()
+        assert "(entry)" in text
+        assert "(exit)" in text
+        assert "(loop header)" in text
+        assert "*" in text  # back edge marker
+
+    def test_unsupported_construct_rejected(self):
+        with pytest.raises(AnalysisError, match="Try"):
+            cfg_of(
+                "def f(x):\n"
+                "    try:\n"
+                "        y = x\n"
+                "    except Exception:\n"
+                "        y = 0\n"
+            )
+
+    def test_match_rejected(self):
+        with pytest.raises(AnalysisError, match="Match"):
+            cfg_of(
+                "def f(x):\n"
+                "    match x:\n"
+                "        case 0:\n"
+                "            y = 1\n"
+            )
+
+
+class TestReachingDefinitions:
+    def test_params_reach_everywhere(self):
+        cfg, rd = analyses(LOOP_UDF)
+        assert any(
+            d.var == "nbrs" and d.block == -1 for d in rd.reaching_in(cfg.exit)
+        )
+
+    def test_conditional_definition_keeps_uninit(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    if s.flag[v]:\n"
+            "        x = 1\n"
+            "    y = x\n"
+        )
+        sites = [
+            (b, i)
+            for b, i, _ in cfg.instructions()
+            if "x" in rd.uses_at(b, i)
+        ]
+        assert sites
+        assert all(rd.possibly_undefined("x", b, i) for b, i in sites)
+
+    def test_both_branches_definite(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    if s.flag[v]:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    y = x\n"
+        )
+        sites = [
+            (b, i)
+            for b, i, _ in cfg.instructions()
+            if "x" in rd.uses_at(b, i)
+        ]
+        assert sites
+        assert not any(rd.possibly_undefined("x", b, i) for b, i in sites)
+
+    def test_redefinition_kills(self):
+        cfg, rd = analyses(
+            "def f(a):\n    x = 1\n    x = 2\n    y = x\n", params=("a",)
+        )
+        at_exit = {d for d in rd.out_of(cfg.exit) if d.var == "x" and d.is_real}
+        assert len(at_exit) == 1
+
+
+class TestLiveness:
+    def test_dead_store_not_live_at_exit(self):
+        cfg, rd = analyses("def f(a):\n    x = 1\n    y = a\n", params=("a",))
+        live = LiveVariables(cfg, rd)
+        assert "x" not in live.live_out(cfg.exit)
+
+    def test_loop_accumulator_live_around_loop(self):
+        cfg, rd = analyses(LOOP_UDF)
+        live = LiveVariables(cfg, rd)
+        header = next(iter(cfg.loops))
+        assert "cnt" in live.live_in(header)
+
+
+class TestDefUse:
+    def test_chain_links_def_to_use(self):
+        cfg, rd = analyses("def f(a):\n    x = a\n    y = x\n", params=("a",))
+        chains = def_use_chains(cfg, rd)
+        x_defs = [d for d in chains if d.var == "x" and d.is_real]
+        assert x_defs and chains[x_defs[0]]
+
+
+class TestLoopCarried:
+    def header(self, cfg):
+        return next(iter(cfg.loops))
+
+    def test_augmented_accumulator_carried(self):
+        cfg, rd = analyses(LOOP_UDF)
+        assert loop_carried_vars(cfg, rd, self.header(cfg)) == ("cnt",)
+
+    def test_redefined_before_use_not_carried(self):
+        """The precision win over the seed heuristic: a temp that every
+        iteration overwrites before reading does not cross iterations."""
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    t = 0\n"
+            "    for u in nbrs:\n"
+            "        t = s.w[u]\n"
+            "        if t > s.k:\n"
+            "            emit(t)\n"
+        )
+        assert loop_carried_vars(cfg, rd, self.header(cfg)) == ()
+
+    def test_loop_target_never_carried(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    for u in nbrs:\n"
+            "        emit(u)\n"
+        )
+        assert "u" not in loop_carried_vars(cfg, rd, self.header(cfg))
+
+    def test_conditionally_updated_var_carried(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    best = s.label[v]\n"
+            "    for u in nbrs:\n"
+            "        if s.label[u] < best:\n"
+            "            best = s.label[u]\n"
+        )
+        assert loop_carried_vars(cfg, rd, self.header(cfg)) == ("best",)
+
+
+class TestDefiniteAssignment:
+    def test_one_armed_if_is_not_definite(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    if s.flag[v]:\n"
+            "        cnt = 0\n"
+            "    for u in nbrs:\n"
+            "        cnt += 1\n"
+        )
+        header = next(iter(cfg.loops))
+        assert not definitely_assigned_at(cfg, rd, header, "cnt")
+
+    def test_two_armed_if_is_definite(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    if s.flag[v]:\n"
+            "        cnt = 0\n"
+            "    else:\n"
+            "        cnt = 1\n"
+            "    for u in nbrs:\n"
+            "        cnt += 1\n"
+        )
+        header = next(iter(cfg.loops))
+        assert definitely_assigned_at(cfg, rd, header, "cnt")
+
+    def test_params_always_definite(self):
+        cfg, rd = analyses(LOOP_UDF)
+        assert definitely_assigned_at(cfg, rd, cfg.exit, "nbrs")

@@ -57,7 +57,11 @@ class TestGeneratedStructure:
         analyzed = instrument_signal(bottom_up_signal)
         assert analyzed.instrumented.__name__.endswith("__dep")
 
-    def test_double_initialization_rejected(self):
+    def test_conditional_reinitialization_supported(self):
+        """The dataflow analyzer lifted the single-assignment rule: a
+        conditional re-init is fine — the restore lands after the
+        *last* pre-loop write, so it cannot be clobbered."""
+
         def signal(v, nbrs, s, emit):
             cnt = 0
             if s.flagged[v]:
@@ -68,7 +72,27 @@ class TestGeneratedStructure:
                     emit(cnt)
                     break
 
-        with pytest.raises(InstrumentationError):
+        analyzed = instrument_signal(signal)
+        assert analyzed.info.carried_vars == ("cnt",)
+        src = analyzed.instrumented_source
+        # restore after the conditional write, before the loop
+        assert src.index("cnt = 1") < src.index("dep.load('cnt'")
+        assert src.index("dep.load('cnt'") < src.index("for u in nbrs")
+
+    def test_unbound_carried_var_rejected(self):
+        """A carried variable not assigned on every path into the loop
+        still raises, now with a located message."""
+
+        def signal(v, nbrs, s, emit):
+            if s.flagged[v]:
+                cnt = 0
+            for u in nbrs:
+                cnt += 1
+                if cnt >= 3:
+                    emit(cnt)
+                    break
+
+        with pytest.raises(InstrumentationError, match="every\\s+path"):
             instrument_signal(signal)
 
 

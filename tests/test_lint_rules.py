@@ -1,0 +1,293 @@
+"""Lint engine: registry, suppression, severity config, and rules."""
+
+import random  # noqa: F401 - referenced by UDFs under lint
+
+import pytest
+
+from repro.analysis.rules import (
+    LintConfig,
+    LintMessage,
+    iter_rules,
+    lint_signal,
+    lint_slot,
+    rule,
+)
+
+
+def codes(messages):
+    return [m.code for m in messages]
+
+
+class TestRegistry:
+    def test_catalog_contains_all_rules(self):
+        registered = {spec.code for spec in iter_rules()}
+        assert registered >= {
+            "cumulative-emit",
+            "missing-break",
+            "emit-after-break",
+            "dead-carried-var",
+            "emit-of-undefined",
+            "break-unreachable",
+            "global-write",
+            "state-mutation",
+            "nondet-call",
+            "non-commutative-slot",
+        }
+
+    def test_every_rule_documents_its_rationale(self):
+        assert all(spec.doc for spec in iter_rules())
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            rule("cumulative-emit", "warning")(lambda ctx: iter(()))
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            rule("brand-new-code", "fatal")
+
+    def test_message_carries_location(self):
+        def signal(v, nbrs, s, emit):
+            total = 0
+            for u in nbrs:
+                total += 1
+                if total >= s.k:
+                    break
+            emit(total)
+
+        (msg,) = [
+            m for m in lint_signal(signal) if m.code == "cumulative-emit"
+        ]
+        assert msg.path.endswith("test_lint_rules.py")
+        assert msg.lineno > 0
+        assert msg.func == "signal"
+        assert "test_lint_rules.py" in msg.location
+
+
+class TestSuppression:
+    def test_same_line_noqa(self):
+        def signal(v, nbrs, s, emit):
+            total = 0
+            for u in nbrs:
+                total += 1
+                if total >= s.k:
+                    break
+            emit(total)  # repro: noqa[cumulative-emit]
+
+        assert "cumulative-emit" not in codes(lint_signal(signal))
+
+    def test_blanket_noqa_on_def_line(self):
+        def signal(v, nbrs, s, emit):  # repro: noqa
+            total = 0
+            for u in nbrs:
+                total += 1
+                if total >= s.k:
+                    break
+            emit(total)
+
+        assert lint_signal(signal) == []
+
+    def test_mismatched_code_not_suppressed(self):
+        def signal(v, nbrs, s, emit):
+            total = 0
+            for u in nbrs:
+                total += 1
+                if total >= s.k:
+                    break
+            emit(total)  # repro: noqa[missing-break]
+
+        assert "cumulative-emit" in codes(lint_signal(signal))
+
+
+class TestConfig:
+    def make(self):
+        def signal(v, nbrs, s, emit):
+            total = 0.0
+            start = total
+            for u in nbrs:
+                total += s.w[u]
+            if total > start:
+                emit(total - start)
+
+        return signal
+
+    def test_disable_drops_rule(self):
+        config = LintConfig(disabled=frozenset({"missing-break"}))
+        assert lint_signal(self.make(), config) == []
+
+    def test_override_off(self):
+        config = LintConfig(overrides={"missing-break": "off"})
+        assert lint_signal(self.make(), config) == []
+
+    def test_override_promotes_note_to_warning(self):
+        config = LintConfig(overrides={"missing-break": "warning"})
+        (msg,) = lint_signal(self.make(), config)
+        assert msg.level == "warning"
+
+    def test_positional_compat(self):
+        msg = LintMessage("some-code", "warning", "text")
+        assert (msg.code, msg.level, msg.message) == (
+            "some-code",
+            "warning",
+            "text",
+        )
+        assert str(msg) == "warning[some-code]: text"
+
+
+class TestDataflowRules:
+    def test_dead_carried_var(self):
+        def signal(v, nbrs, s, emit):
+            cnt = 0
+            for u in nbrs:
+                cnt += 1
+                if s.flag[u]:
+                    emit(u)
+                    break
+
+        messages = lint_signal(signal)
+        assert "dead-carried-var" in codes(messages)
+        assert any("cnt" in m.message for m in messages)
+
+    def test_used_accumulator_not_dead(self):
+        from repro.algorithms.sampling import sampling_signal
+
+        assert "dead-carried-var" not in codes(lint_signal(sampling_signal))
+
+    def test_emit_of_undefined(self):
+        def signal(v, nbrs, s, emit):
+            marker = 0
+            for u in nbrs:
+                if s.flag[u]:
+                    val = s.w[u]
+                emit(val)
+                marker += 1
+                break
+
+        assert "emit-of-undefined" in codes(lint_signal(signal))
+
+    def test_emit_of_defined_clean(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                val = s.w[u]
+                emit(val)
+                break
+
+        assert "emit-of-undefined" not in codes(lint_signal(signal))
+
+    def test_break_unreachable(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.flag[u]:
+                    emit(u)
+                    break
+                continue
+                break
+
+        assert "break-unreachable" in codes(lint_signal(signal))
+
+    def test_emit_after_break_unguarded_constant(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.flag[u]:
+                    break
+            emit(1.0)
+
+        assert "emit-after-break" in codes(lint_signal(signal))
+
+    def test_emit_after_break_delta_idiom_clean(self):
+        from repro.algorithms.kcore import kcore_signal
+
+        assert "emit-after-break" not in codes(lint_signal(kcore_signal))
+
+
+class TestPurityRules:
+    def test_global_write(self):
+        def signal(v, nbrs, s, emit):
+            global _tally
+            for u in nbrs:
+                emit(u)
+                break
+
+        assert "global-write" in codes(lint_signal(signal))
+
+    def test_state_mutation_subscript(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                s.seen[u] = True
+                emit(u)
+                break
+
+        assert "state-mutation" in codes(lint_signal(signal))
+
+    def test_state_mutation_method(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                s.acc.append(u)
+                emit(u)
+                break
+
+        assert "state-mutation" in codes(lint_signal(signal))
+
+    def test_nondet_module_rng(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if random.random() < 0.5:
+                    emit(u)
+                    break
+
+        assert "nondet-call" in codes(lint_signal(signal))
+
+    def test_seeded_state_rng_clean(self):
+        def signal(v, nbrs, s, emit):
+            for u in nbrs:
+                if s.rng.random() < 0.5:
+                    emit(u)
+                    break
+
+        assert "nondet-call" not in codes(lint_signal(signal))
+
+    def test_local_container_writes_allowed(self):
+        def signal(v, nbrs, s, emit):
+            seen = []
+            for u in nbrs:
+                seen.append(u)
+                if len(seen) >= s.k:
+                    emit(u)
+                    break
+
+        assert "state-mutation" not in codes(lint_signal(signal))
+
+
+class TestSlotRule:
+    def test_unguarded_overwrite_noted(self):
+        def overwrite_slot(v, value, s):
+            s.label[v] = value
+            return True
+
+        messages = lint_slot(overwrite_slot)
+        assert codes(messages) == ["non-commutative-slot"]
+        assert messages[0].level == "note"
+
+    def test_comparison_guard_clean(self):
+        def min_slot(v, value, s):
+            if value < s.label[v]:
+                s.label[v] = value
+                return True
+            return False
+
+        assert lint_slot(min_slot) == []
+
+    def test_first_wins_guard_clean(self):
+        def visit_slot(v, value, s):
+            if s.visited[v]:
+                return False
+            s.visited[v] = True
+            return True
+
+        assert lint_slot(visit_slot) == []
+
+    def test_commutative_fold_clean(self):
+        def add_slot(v, value, s):
+            s.total[v] += value
+            return False
+
+        assert lint_slot(add_slot) == []
