@@ -45,11 +45,26 @@ from repro.errors import (
     AnalysisError,
     ConvergenceError,
     EngineError,
+    FaultError,
+    FaultPlanError,
     GraphError,
     InstrumentationError,
+    MachineCrashError,
+    MessageLossError,
     PartitionError,
     ReproError,
     UnsupportedAlgorithmError,
+)
+from repro.fault import (
+    CheckpointStore,
+    CrashFault,
+    FaultController,
+    FaultPlan,
+    MessageFault,
+    StragglerFault,
+    VertexProgram,
+    run_program,
+    run_recoverable,
 )
 from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, rmat
 from repro.partition import (
@@ -116,6 +131,16 @@ __all__ = [
     "SYMPLE_COST",
     "DGALOIS_COST",
     "SINGLE_THREAD_COST",
+    # fault tolerance
+    "FaultPlan",
+    "CrashFault",
+    "StragglerFault",
+    "MessageFault",
+    "FaultController",
+    "CheckpointStore",
+    "VertexProgram",
+    "run_program",
+    "run_recoverable",
     # errors
     "ReproError",
     "GraphError",
@@ -125,4 +150,8 @@ __all__ = [
     "EngineError",
     "ConvergenceError",
     "UnsupportedAlgorithmError",
+    "FaultPlanError",
+    "FaultError",
+    "MachineCrashError",
+    "MessageLossError",
 ]

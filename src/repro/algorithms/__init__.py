@@ -5,9 +5,10 @@ from repro.algorithms.alias import (
     build_alias_tables,
     sample_neighbors_alias,
 )
-from repro.algorithms.bfs import BFSResult, bfs, bottom_up_signal
+from repro.algorithms.bfs import BFSProgram, BFSResult, bfs, bottom_up_signal
 from repro.algorithms.cc import CCResult, cc_signal, connected_components
 from repro.algorithms.kcore import (
+    KCoreProgram,
     KCoreResult,
     PeelResult,
     coreness,
@@ -16,7 +17,7 @@ from repro.algorithms.kcore import (
     kcore_signal,
 )
 from repro.algorithms.kmeans import KMeansResult, kmeans, kmeans_signal
-from repro.algorithms.mis import MISResult, mis, mis_signal
+from repro.algorithms.mis import MISProgram, MISResult, mis, mis_signal
 from repro.algorithms.pagerank import PageRankResult, pagerank, pagerank_signal
 from repro.algorithms.sampling import (
     SamplingResult,
@@ -30,10 +31,13 @@ __all__ = [
     "bfs",
     "bottom_up_signal",
     "BFSResult",
+    "BFSProgram",
     "mis",
     "mis_signal",
     "MISResult",
+    "MISProgram",
     "kcore",
+    "KCoreProgram",
     "kcore_signal",
     "kcore_peel",
     "coreness",

@@ -10,14 +10,16 @@ reproduced here with the standard alpha/beta heuristic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.engine.base import BaseEngine
+from repro.engine.state import StateStore
 from repro.errors import ConvergenceError
+from repro.fault.program import VertexProgram, run_program
 
-__all__ = ["bfs", "bottom_up_signal", "BFSResult"]
+__all__ = ["bfs", "bottom_up_signal", "BFSResult", "BFSProgram"]
 
 
 def bottom_up_signal(v, nbrs, s, emit):
@@ -61,52 +63,79 @@ class BFSResult:
         return int(self.visited.sum())
 
 
-def bfs(
-    engine: BaseEngine,
-    root: int,
-    mode: str = "adaptive",
-    alpha: float = 15.0,
-    beta: float = 18.0,
-    max_iterations: Optional[int] = None,
-) -> BFSResult:
-    """Run BFS from ``root`` on a distributed engine.
+class BFSProgram(VertexProgram):
+    """Direction-optimizing BFS as a resumable superstep loop.
 
-    ``mode`` is ``"adaptive"`` (direction-optimizing, the evaluation's
-    configuration), ``"topdown"``, or ``"bottomup"``.
+    Everything mutable lives in the :class:`StateStore` or ``ctx``
+    (``iterations``, ``directions``, ``running_pull``, ``limit``) so a
+    checkpoint captures the full loop state; the instance itself holds
+    only configuration and the read-only out-degree array.
     """
-    if mode not in ("adaptive", "topdown", "bottomup"):
-        raise ValueError(f"unknown BFS mode {mode!r}")
-    graph = engine.graph
-    n = graph.num_vertices
-    limit = max_iterations if max_iterations is not None else n + 1
 
-    s = engine.new_state()
-    s.add_array("visited", bool, False)
-    s.add_array("frontier", bool, False)
-    s.add_array("next_frontier", bool, False)
-    s.add_array("parent", np.int64, -1)
-    s.add_array("depth", np.int64, -1)
-    s.add_scalar("level", 0)
+    name = "bfs"
 
-    s.visited[root] = True
-    s.frontier[root] = True
-    s.parent[root] = root
-    s.depth[root] = 0
-    engine.sync_state(np.asarray([root]), sync_bytes=4)
+    def __init__(
+        self,
+        root: int,
+        mode: str = "adaptive",
+        alpha: float = 15.0,
+        beta: float = 18.0,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        if mode not in ("adaptive", "topdown", "bottomup"):
+            raise ValueError(f"unknown BFS mode {mode!r}")
+        self.root = int(root)
+        self.mode = mode
+        self.alpha = alpha
+        self.beta = beta
+        self.max_iterations = max_iterations
+        self._out_degrees: Optional[np.ndarray] = None
 
-    out_degrees = graph.out_degrees()
-    directions: List[str] = []
-    running_pull = False
-    iterations = 0
+    def setup(self, engine: BaseEngine, ctx: Dict[str, Any]) -> StateStore:
+        graph = engine.graph
+        n = graph.num_vertices
+        self._out_degrees = graph.out_degrees()
+        ctx["limit"] = (
+            self.max_iterations if self.max_iterations is not None else n + 1
+        )
+        ctx["iterations"] = 0
+        ctx["directions"] = []
+        ctx["running_pull"] = False
 
-    while s.frontier.any():
-        if iterations >= limit:
+        s = engine.new_state()
+        s.add_array("visited", bool, False)
+        s.add_array("frontier", bool, False)
+        s.add_array("next_frontier", bool, False)
+        s.add_array("parent", np.int64, -1)
+        s.add_array("depth", np.int64, -1)
+        s.add_scalar("level", 0)
+
+        s.visited[self.root] = True
+        s.frontier[self.root] = True
+        s.parent[self.root] = self.root
+        s.depth[self.root] = 0
+        engine.sync_state(np.asarray([self.root]), sync_bytes=4)
+        return s
+
+    def step(
+        self, engine: BaseEngine, s: StateStore, ctx: Dict[str, Any]
+    ) -> bool:
+        if not s.frontier.any():
+            return False
+        if ctx["iterations"] >= ctx["limit"]:
             raise ConvergenceError("BFS exceeded its iteration budget")
         s.level = s.level + 1
 
-        direction = _pick_direction(mode, s, out_degrees, alpha, beta, running_pull)
-        running_pull = direction == "pull"
-        directions.append(direction)
+        direction = _pick_direction(
+            self.mode,
+            s,
+            self._out_degrees,
+            self.alpha,
+            self.beta,
+            ctx["running_pull"],
+        )
+        ctx["running_pull"] = direction == "pull"
+        ctx["directions"].append(direction)
 
         if direction == "pull":
             active = ~s.visited
@@ -130,16 +159,36 @@ def bfs(
 
         s.frontier[:] = s.next_frontier
         s.next_frontier[:] = False
-        iterations += 1
-        if not result.any_changed:
-            break
+        ctx["iterations"] += 1
+        return bool(result.any_changed)
 
-    return BFSResult(
-        parent=s.parent.copy(),
-        depth=s.depth.copy(),
-        visited=s.visited.copy(),
-        iterations=iterations,
-        directions=directions,
+    def result(
+        self, engine: BaseEngine, s: StateStore, ctx: Dict[str, Any]
+    ) -> BFSResult:
+        return BFSResult(
+            parent=s.parent.copy(),
+            depth=s.depth.copy(),
+            visited=s.visited.copy(),
+            iterations=ctx["iterations"],
+            directions=list(ctx["directions"]),
+        )
+
+
+def bfs(
+    engine: BaseEngine,
+    root: int,
+    mode: str = "adaptive",
+    alpha: float = 15.0,
+    beta: float = 18.0,
+    max_iterations: Optional[int] = None,
+) -> BFSResult:
+    """Run BFS from ``root`` on a distributed engine.
+
+    ``mode`` is ``"adaptive"`` (direction-optimizing, the evaluation's
+    configuration), ``"topdown"``, or ``"bottomup"``.
+    """
+    return run_program(
+        BFSProgram(root, mode, alpha, beta, max_iterations), engine
     )
 
 

@@ -16,11 +16,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Any, Dict
 
 import numpy as np
 
 from repro.engine.base import BaseEngine
+from repro.engine.state import StateStore
 from repro.errors import ConvergenceError
+from repro.fault.program import VertexProgram, run_program
 from repro.graph.csr import CSRGraph
 from repro.runtime.cost_model import SINGLE_THREAD_COST, CostModel
 
@@ -31,6 +34,7 @@ __all__ = [
     "coreness",
     "KCoreResult",
     "PeelResult",
+    "KCoreProgram",
 ]
 
 
@@ -65,26 +69,33 @@ class KCoreResult:
         return int(self.in_core.sum())
 
 
-def kcore(
-    engine: BaseEngine,
-    k: int,
-    max_rounds: int | None = None,
-) -> KCoreResult:
-    """Iterative K-core on a symmetric graph."""
-    if k < 1:
-        raise ValueError("k must be at least 1")
-    graph = engine.graph
-    n = graph.num_vertices
-    limit = max_rounds if max_rounds is not None else n + 1
+class KCoreProgram(VertexProgram):
+    """Iterative K-core as a resumable superstep loop."""
 
-    s = engine.new_state()
-    s.add_array("active", bool, True)
-    s.add_array("count", np.int64, 0)
-    s.add_scalar("k", k)
+    name = "kcore"
 
-    rounds = 0
-    while True:
-        if rounds >= limit:
+    def __init__(self, k: int, max_rounds: int | None = None) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        self.max_rounds = max_rounds
+
+    def setup(self, engine: BaseEngine, ctx: Dict[str, Any]) -> StateStore:
+        n = engine.graph.num_vertices
+        ctx["limit"] = (
+            self.max_rounds if self.max_rounds is not None else n + 1
+        )
+        ctx["rounds"] = 0
+        s = engine.new_state()
+        s.add_array("active", bool, True)
+        s.add_array("count", np.int64, 0)
+        s.add_scalar("k", self.k)
+        return s
+
+    def step(
+        self, engine: BaseEngine, s: StateStore, ctx: Dict[str, Any]
+    ) -> bool:
+        if ctx["rounds"] >= ctx["limit"]:
             raise ConvergenceError("K-core exceeded its round budget")
         s.count[:] = 0
         # Control-only dependency: partial counts sum at the master
@@ -100,14 +111,29 @@ def kcore(
             dep_data_bytes=4,
             share_dep_data=False,
         )
-        removed = np.flatnonzero(s.active & (s.count < k))
-        rounds += 1
+        removed = np.flatnonzero(s.active & (s.count < self.k))
+        ctx["rounds"] += 1
         if removed.size == 0:
-            break
+            return False
         s.active[removed] = False
         engine.sync_state(removed, sync_bytes=4)
+        return True
 
-    return KCoreResult(in_core=s.active.copy(), rounds=rounds, k=k)
+    def result(
+        self, engine: BaseEngine, s: StateStore, ctx: Dict[str, Any]
+    ) -> KCoreResult:
+        return KCoreResult(
+            in_core=s.active.copy(), rounds=ctx["rounds"], k=self.k
+        )
+
+
+def kcore(
+    engine: BaseEngine,
+    k: int,
+    max_rounds: int | None = None,
+) -> KCoreResult:
+    """Iterative K-core on a symmetric graph."""
+    return run_program(KCoreProgram(k, max_rounds), engine)
 
 
 @dataclass

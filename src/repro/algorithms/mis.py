@@ -10,13 +10,16 @@ symmetric (undirected) graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict
 
 import numpy as np
 
 from repro.engine.base import BaseEngine
+from repro.engine.state import StateStore
 from repro.errors import ConvergenceError
+from repro.fault.program import VertexProgram, run_program
 
-__all__ = ["mis", "mis_signal", "MISResult"]
+__all__ = ["mis", "mis_signal", "MISResult", "MISProgram"]
 
 
 def mis_signal(v, nbrs, s, emit):
@@ -57,26 +60,40 @@ class MISResult:
         return int(self.in_mis.sum())
 
 
-def mis(
-    engine: BaseEngine,
-    seed: int = 0,
-    max_rounds: int | None = None,
-) -> MISResult:
-    """Compute a maximal independent set on a symmetric graph."""
-    graph = engine.graph
-    n = graph.num_vertices
-    limit = max_rounds if max_rounds is not None else n + 1
+class MISProgram(VertexProgram):
+    """Coloring-heuristic MIS as a resumable superstep loop.
 
-    rng = np.random.default_rng(seed)
-    s = engine.new_state()
-    s.add_array("active", bool, True)
-    s.add_array("candidate", bool, True)
-    s.add_array("is_mis", bool, False)
-    s.set("color", rng.permutation(n).astype(np.int64))
+    Randomness (the color permutation) is drawn only in :meth:`setup`
+    from the fixed seed, so restart-from-scratch recovery replays the
+    identical coloring.
+    """
 
-    rounds = 0
-    while s.active.any():
-        if rounds >= limit:
+    name = "mis"
+
+    def __init__(self, seed: int = 0, max_rounds: int | None = None) -> None:
+        self.seed = int(seed)
+        self.max_rounds = max_rounds
+
+    def setup(self, engine: BaseEngine, ctx: Dict[str, Any]) -> StateStore:
+        n = engine.graph.num_vertices
+        ctx["limit"] = (
+            self.max_rounds if self.max_rounds is not None else n + 1
+        )
+        ctx["rounds"] = 0
+        rng = np.random.default_rng(self.seed)
+        s = engine.new_state()
+        s.add_array("active", bool, True)
+        s.add_array("candidate", bool, True)
+        s.add_array("is_mis", bool, False)
+        s.set("color", rng.permutation(n).astype(np.int64))
+        return s
+
+    def step(
+        self, engine: BaseEngine, s: StateStore, ctx: Dict[str, Any]
+    ) -> bool:
+        if not s.active.any():
+            return False
+        if ctx["rounds"] >= ctx["limit"]:
             raise ConvergenceError("MIS exceeded its round budget")
         s.candidate[:] = s.active
         engine.pull(
@@ -102,6 +119,19 @@ def mis(
                 update_bytes=8,
                 sync_bytes=4,
             )
-        rounds += 1
+        ctx["rounds"] += 1
+        return True
 
-    return MISResult(in_mis=s.is_mis.copy(), rounds=rounds)
+    def result(
+        self, engine: BaseEngine, s: StateStore, ctx: Dict[str, Any]
+    ) -> MISResult:
+        return MISResult(in_mis=s.is_mis.copy(), rounds=ctx["rounds"])
+
+
+def mis(
+    engine: BaseEngine,
+    seed: int = 0,
+    max_rounds: int | None = None,
+) -> MISResult:
+    """Compute a maximal independent set on a symmetric graph."""
+    return run_program(MISProgram(seed, max_rounds), engine)

@@ -14,9 +14,17 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.algorithms import bfs, kcore, kmeans, mis, sample_neighbors
+from repro.algorithms import (
+    BFSProgram,
+    KCoreProgram,
+    MISProgram,
+    kmeans,
+    sample_neighbors,
+)
 from repro.engine import SympleOptions, make_engine
 from repro.engine.base import BaseEngine
+from repro.errors import UnsupportedAlgorithmError
+from repro.fault import FaultPlan, run_program, run_recoverable
 from repro.graph.csr import CSRGraph
 from repro.runtime.cost_model import CostModel
 
@@ -77,6 +85,22 @@ def _bfs_roots(graph: CSRGraph, num_roots: int, seed: int) -> np.ndarray:
     return rng.choice(candidates, size=count, replace=False)
 
 
+def _merge_report(extra: Dict[str, float], report) -> None:
+    """Accumulate a RecoveryReport into a run's ``extra`` metrics."""
+    payload = report.to_dict()
+    stats = payload.pop("fault_stats")
+    for key in (
+        "retransmissions",
+        "messages_delayed",
+        "messages_duplicated",
+        "dep_losses",
+    ):
+        payload[key] = stats.get(key, 0)
+    for key, value in payload.items():
+        name = f"fault_{key}"
+        extra[name] = extra.get(name, 0) + value
+
+
 def run_algorithm(
     engine_kind: str,
     graph: CSRGraph,
@@ -88,36 +112,66 @@ def run_algorithm(
     bfs_roots: int = 3,
     kcore_k: int = 8,
     kmeans_rounds: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_interval: int = 0,
+    retention: int = 2,
 ) -> RunResult:
     """Execute one experiment and collect its metrics.
 
     BFS accumulates counters over ``bfs_roots`` random roots and
     reports the per-root average simulated time, mirroring the paper's
     averaging protocol at reduced repetition count.
+
+    ``fault_plan``/``checkpoint_interval`` run the algorithm under
+    :func:`repro.fault.run_recoverable`: faults are injected, the state
+    is checkpointed every ``checkpoint_interval`` supersteps, and the
+    recovery metrics land in ``extra`` under ``fault_*`` keys.  Only the
+    program-ported algorithms (bfs, kcore, mis) support this.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
+    faulted = (
+        fault_plan is not None and not fault_plan.empty
+    ) or checkpoint_interval > 0
+    if faulted and algorithm in ("kmeans", "sampling"):
+        raise UnsupportedAlgorithmError(
+            f"{algorithm} is not a resumable program; fault injection "
+            "and checkpointing support bfs, kcore, and mis"
+        )
 
     engine = make_engine(engine_kind, graph, num_machines, options=options)
     extra: Dict[str, float] = {}
+
+    def drive(program):
+        if not faulted:
+            return run_program(program, engine)
+        result, report = run_recoverable(
+            program,
+            engine,
+            plan=fault_plan,
+            checkpoint_interval=checkpoint_interval,
+            retention=retention,
+        )
+        _merge_report(extra, report)
+        return result
 
     if algorithm == "bfs":
         roots = _bfs_roots(graph, bfs_roots, seed)
         reached = 0
         for root in roots:
-            result = bfs(engine, int(root))
+            result = drive(BFSProgram(int(root)))
             reached += result.reached
         extra["avg_reached"] = reached / len(roots)
         time = engine.execution_time(cost_model) / len(roots)
         return _collect(engine, algorithm, time, extra, scale=1.0 / len(roots))
     if algorithm == "kcore":
-        result = kcore(engine, k=kcore_k)
+        result = drive(KCoreProgram(kcore_k))
         extra["core_size"] = result.size
         extra["rounds"] = result.rounds
     elif algorithm == "mis":
-        result = mis(engine, seed=seed)
+        result = drive(MISProgram(seed=seed))
         extra["mis_size"] = result.size
         extra["rounds"] = result.rounds
     elif algorithm == "kmeans":

@@ -70,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="symple",
         choices=("gemini", "symple", "dgalois", "single"),
     )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file (bfs/kcore/mis)",
+    )
+    run.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N supersteps (0 disables, the default)",
+    )
 
     compare = sub.add_parser(
         "compare", help="run Gemini and SympleGraph side by side"
@@ -166,6 +179,11 @@ def _options(args) -> SympleOptions:
 
 
 def _execute(engine: str, args):
+    fault_plan = None
+    if getattr(args, "faults", None):
+        from repro.fault import FaultPlan
+
+        fault_plan = FaultPlan.load(args.faults)
     return run_algorithm(
         engine,
         dataset(args.dataset),
@@ -175,6 +193,8 @@ def _execute(engine: str, args):
         options=_options(args) if engine == "symple" else None,
         bfs_roots=args.bfs_roots,
         kcore_k=args.kcore_k,
+        fault_plan=fault_plan,
+        checkpoint_interval=getattr(args, "checkpoint_interval", 0),
     )
 
 

@@ -128,6 +128,35 @@ class BaseEngine:
         self.network = SimulatedNetwork(self.num_machines, self.counters)
         self.default_cost = default_cost
         self._analyzed: Dict[int, AnalyzedSignal] = {}
+        self._fault_controller = None
+
+    # -- fault injection ---------------------------------------------------
+
+    def attach_faults(self, controller) -> None:
+        """Install (or with ``None``, remove) a fault controller.
+
+        The controller's delivery hook goes on the network; phase and
+        step boundaries consult it for crash events and straggler
+        slowdowns.  See :mod:`repro.fault`.
+        """
+        self._fault_controller = controller
+        self.network.delivery_hook = None
+        if controller is not None:
+            controller.bind(self)
+
+    def _phase_begin(self) -> int:
+        """Phase index of the phase about to run; fires crash events."""
+        phase = len(self.counters.iterations)
+        if self._fault_controller is not None:
+            self._fault_controller.check_crash(phase, 0)
+        return phase
+
+    def _make_step(self, phase: int) -> StepRecord:
+        """New step record, with straggler slowdowns applied."""
+        step = StepRecord(self.num_machines)
+        if self._fault_controller is not None:
+            step.slowdown[:] = self._fault_controller.slowdown(phase)
+        return step
 
     # -- state -----------------------------------------------------------
 
@@ -186,9 +215,10 @@ class BaseEngine:
         The paper's optimization targets pull mode; push is identical
         across the distributed engines.
         """
+        phase = self._phase_begin()
         frontier_idx = self._as_indices(frontier)
         record = IterationRecord(mode="push")
-        step = StepRecord(self.num_machines)
+        step = self._make_step(phase)
         buffer = _UpdateBuffer()
         master_of = self.partition.master_of
         push_msg: Dict[Tuple[int, int], int] = {}
@@ -307,6 +337,8 @@ class BaseEngine:
         """Clear counters and traffic (state/partition untouched)."""
         self.counters = Counters(self.num_machines)
         self.network = SimulatedNetwork(self.num_machines, self.counters)
+        if self._fault_controller is not None:
+            self._fault_controller.bind(self)
 
     def _check_active(self, active: np.ndarray) -> np.ndarray:
         arr = np.asarray(active)

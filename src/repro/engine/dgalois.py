@@ -55,13 +55,14 @@ class DGaloisEngine(BaseEngine):
         allow_differentiated: bool = True,
         share_dep_data: bool = True,
     ) -> PullResult:
+        phase = self._phase_begin()
         active_idx = self._check_active(active)
         analyzed = self.ensure_analyzed(signal)
         fn = analyzed.original
         master_of = self.partition.master_of
 
         record = IterationRecord(mode="pull")
-        step = StepRecord(self.num_machines)
+        step = self._make_step(phase)
         buffer = _UpdateBuffer()
 
         for m in range(self.num_machines):

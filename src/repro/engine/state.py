@@ -80,3 +80,15 @@ class StateStore:
             name: value.copy() if isinstance(value, np.ndarray) else value
             for name, value in self._fields.items()
         }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Replace all fields with (copies of) a snapshot's.
+
+        The inverse of :meth:`snapshot`, used by crash recovery: arrays
+        are copied in, so later mutation of this store cannot corrupt
+        the snapshot it was restored from.
+        """
+        fields: Dict[str, Any] = object.__getattribute__(self, "_fields")
+        fields.clear()
+        for name, value in snapshot.items():
+            fields[name] = value.copy() if isinstance(value, np.ndarray) else value

@@ -71,6 +71,14 @@ class SympleOptions:
     framework will just miss some opportunities" — results must stay
     identical while savings shrink; the failure-injection tests assert
     exactly that.
+
+    ``dep_loss_rate``/``dep_loss_seed`` are deprecated aliases kept for
+    backward compatibility: the fault subsystem expresses the same
+    experiment as ``FaultPlan.dep_loss(rate, seed)`` (see
+    :mod:`repro.fault`), whose single plan-seeded generator also drives
+    every other fault draw.  An attached
+    :class:`~repro.fault.injector.FaultController` with a dep-drop
+    fault takes precedence over these options.
     """
 
     degree_threshold: int = DEFAULT_DEGREE_THRESHOLD
@@ -173,10 +181,11 @@ class SympleGraphEngine(BaseEngine):
         sync_bytes: int,
     ) -> PullResult:
         """Gemini-style parallel pull (no dependency to enforce)."""
+        phase = self._phase_begin()
         fn = analyzed.original
         master_of = self.partition.master_of
         record = IterationRecord(mode="pull")
-        step = StepRecord(self.num_machines)
+        step = self._make_step(phase)
         buffer = _UpdateBuffer()
         for m in range(self.num_machines):
             local = self.partition.local_in(m)
@@ -217,6 +226,7 @@ class SympleGraphEngine(BaseEngine):
         share_dep_data: bool,
     ) -> PullResult:
         p = self.num_machines
+        phase = self._phase_begin()
         master_of = self.partition.master_of
         dep_store = DepStore(
             self.graph.num_vertices,
@@ -233,11 +243,21 @@ class SympleGraphEngine(BaseEngine):
 
         active_mask = np.zeros(self.graph.num_vertices, dtype=bool)
         active_mask[active_idx] = True
-        loss_rng = (
-            np.random.default_rng(self.options.dep_loss_seed)
-            if self.options.dep_loss_rate > 0.0
-            else None
-        )
+        # Dependency-loss draws: an attached FaultController owns the
+        # (single, plan-seeded) stream; the legacy SympleOptions knobs
+        # keep their per-pull generator for backward compatibility.
+        controller = self._fault_controller
+        if controller is not None and controller.dep_loss_rate > 0.0:
+            dep_lost = controller.dep_lost
+        elif self.options.dep_loss_rate > 0.0:
+            loss_rng = np.random.default_rng(self.options.dep_loss_seed)
+            rate = self.options.dep_loss_rate
+
+            def dep_lost() -> bool:
+                return bool(loss_rng.random() < rate)
+
+        else:
+            dep_lost = None
 
         # Pre-split each machine's candidate list by destination partition.
         record = IterationRecord(mode="pull")
@@ -246,7 +266,13 @@ class SympleGraphEngine(BaseEngine):
         total_edges = 0
 
         for s in range(p):
-            step = StepRecord(p)
+            if s > 0 and controller is not None:
+                # A mid-step crash severs the dependency circulation:
+                # the whole phase aborts and recovery restarts it from
+                # the step-0 boundary with blanked bitmaps (Section 5.1
+                # guarantees correctness under incomplete information).
+                controller.check_crash(phase, s)
+            step = self._make_step(phase)
             for m in range(p):
                 j = circulant_partition(m, s, p)
                 local = self.partition.local_in(m)
@@ -269,10 +295,9 @@ class SympleGraphEngine(BaseEngine):
                             # eligible (a lost *data* dependency is not
                             # an incomplete-information case).
                             lost = (
-                                loss_rng is not None
+                                dep_lost is not None
                                 and not has_data
-                                and loss_rng.random()
-                                < self.options.dep_loss_rate
+                                and dep_lost()
                             )
                             if not lost:
                                 continue

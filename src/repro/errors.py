@@ -40,3 +40,30 @@ class ConvergenceError(EngineError):
 class UnsupportedAlgorithmError(EngineError):
     """The engine cannot run this algorithm (e.g. sampling on D-Galois,
     which the paper also reports as N/A in Table 4)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed or inconsistent with the cluster."""
+
+
+class FaultError(EngineError):
+    """An injected fault interrupted execution.  Recoverable through
+    :func:`repro.fault.run_recoverable`; fatal otherwise."""
+
+
+class MachineCrashError(FaultError):
+    """A simulated machine crashed mid-execution."""
+
+    def __init__(self, machine: int, iteration: int, step: int = 0) -> None:
+        super().__init__(
+            f"machine {machine} crashed at iteration {iteration}, "
+            f"step {step}"
+        )
+        self.machine = machine
+        self.iteration = iteration
+        self.step = step
+
+
+class MessageLossError(FaultError):
+    """A message could not be delivered within the retry budget —
+    the destination is treated as unreachable (escalates to recovery)."""

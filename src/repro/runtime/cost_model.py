@@ -69,14 +69,18 @@ class CostModel:
         """
         total = self.iteration_overhead
         for step in record.steps:
-            compute = self.compute_time(
-                step.high_edges + step.low_edges,
-                step.high_vertices + step.low_vertices,
-            )
+            compute = self._step_compute(step)
             total += float(np.max(compute, initial=0.0))
             total += self._comm_tail(step.update_bytes)
         total += self._sync_cost(record)
         return total
+
+    def _step_compute(self, step) -> np.ndarray:
+        """Per-machine compute for a step, including straggler slowdown."""
+        return self.compute_time(
+            step.high_edges + step.low_edges,
+            step.high_vertices + step.low_vertices,
+        ) * step.slowdown
 
     def _comm_tail(self, byte_array) -> float:
         """Residual (non-overlapped) transfer time for a traffic class."""
@@ -109,10 +113,7 @@ class CostModel:
             # serializes.
             serial = 0.0
             for step in steps:
-                compute = self.compute_time(
-                    step.high_edges + step.low_edges,
-                    step.high_vertices + step.low_vertices,
-                )
+                compute = self._step_compute(step)
                 serial += float(np.sum(compute))
                 serial += float(np.sum(self.transfer_time(step.dep_bytes)))
                 serial += self.latency * p
@@ -130,8 +131,14 @@ class CostModel:
 
         update_tail = 0.0
         for step in steps:
-            c_high = self.compute_time(step.high_edges, step.high_vertices)
-            c_low = self.compute_time(step.low_edges, step.low_vertices)
+            c_high = (
+                self.compute_time(step.high_edges, step.high_vertices)
+                * step.slowdown
+            )
+            c_low = (
+                self.compute_time(step.low_edges, step.low_vertices)
+                * step.slowdown
+            )
             # Updates and dependency traffic both share the fabric; the
             # dependency's latency component is modeled by the arrival
             # recursion below, its bandwidth component here.
@@ -181,10 +188,7 @@ class CostModel:
         """
         total = self.iteration_overhead
         for step in record.steps:
-            compute = self.compute_time(
-                step.high_edges + step.low_edges,
-                step.high_vertices + step.low_vertices,
-            )
+            compute = self._step_compute(step)
             total += float(np.max(compute, initial=0.0))
             # reduce phase: pipelined, but paid again by the broadcast
             total += 2.0 * self._comm_tail(step.update_bytes)
@@ -197,10 +201,7 @@ class CostModel:
         """Sparse push iteration (same for every distributed engine)."""
         total = self.iteration_overhead
         for step in record.steps:
-            compute = self.compute_time(
-                step.high_edges + step.low_edges,
-                step.high_vertices + step.low_vertices,
-            )
+            compute = self._step_compute(step)
             total += float(np.max(compute, initial=0.0))
             total += self._comm_tail(step.update_bytes) + self.latency
         total += self._sync_cost(record)
@@ -211,6 +212,17 @@ class CostModel:
         if record.sync_bytes <= 0:
             return 0.0
         tail = self.transfer_time(record.sync_bytes) * (1.0 - self.comm_overlap)
+        return float(tail) + self.latency
+
+    def _ckpt_cost(self, record: IterationRecord) -> float:
+        """Checkpoint write at an iteration boundary.
+
+        Checkpoint traffic streams to the durable store while the next
+        phase computes, so only the non-overlapped tail is charged, plus
+        one commit-barrier latency."""
+        if record.ckpt_bytes <= 0:
+            return 0.0
+        tail = self.transfer_time(record.ckpt_bytes) * (1.0 - self.comm_overlap)
         return float(tail) + self.latency
 
     # -- whole-run timing ------------------------------------------------------
@@ -239,18 +251,14 @@ class CostModel:
                 total += self.single_thread_iteration_time(record)
             else:
                 raise ValueError(f"unknown engine kind {engine!r}")
-        return total
+            total += self._ckpt_cost(record)
+        return total + counters.penalty_time
 
     def single_thread_iteration_time(self, record: IterationRecord) -> float:
         """Sequential oracle: sum of all work, no communication."""
         total = 0.0
         for step in record.steps:
-            work = (
-                float(np.sum(step.high_edges + step.low_edges)) * self.edge_cost
-                + float(np.sum(step.high_vertices + step.low_vertices))
-                * self.vertex_cost
-            )
-            total += work * self.compute_scale / max(self.cores, 1)
+            total += float(np.sum(self._step_compute(step)))
         return total
 
     def breakdown(
@@ -264,15 +272,17 @@ class CostModel:
 
         Returns a dict with ``compute`` (critical-path edge/vertex
         work), ``communication`` (residual transfer tails), ``overhead``
-        (barriers, latency, step coordination), and — for SympleGraph —
-        ``dependency_wait`` (time machines spent blocked on incoming
-        dependency state, the quantity double buffering attacks).  The
-        components sum to :meth:`execution_time` up to the
-        dependency-wait attribution.
+        (barriers, latency, step coordination, injected penalties),
+        ``checkpoint`` (fault-tolerance snapshot writes), and — for
+        SympleGraph — ``dependency_wait`` (time machines spent blocked
+        on incoming dependency state, the quantity double buffering
+        attacks).  The components sum to :meth:`execution_time` up to
+        the dependency-wait attribution.
         """
         compute = 0.0
         comm = 0.0
-        overhead = 0.0
+        overhead = counters.penalty_time
+        checkpoint = 0.0
         dep_wait = 0.0
         total = self.execution_time(
             counters, engine, double_buffering=double_buffering,
@@ -281,10 +291,7 @@ class CostModel:
         for record in counters.iterations:
             overhead += self.iteration_overhead
             for step in record.steps:
-                machine_compute = self.compute_time(
-                    step.high_edges + step.low_edges,
-                    step.high_vertices + step.low_vertices,
-                )
+                machine_compute = self._step_compute(step)
                 compute += float(np.max(machine_compute, initial=0.0))
                 comm += self._comm_tail(step.update_bytes)
                 comm += self._comm_tail(step.dep_bytes)
@@ -294,14 +301,16 @@ class CostModel:
                     * (1.0 - self.comm_overlap)
                 )
                 overhead += self.latency
+            checkpoint += self._ckpt_cost(record)
             if record.mode == "push":
                 overhead += self.latency * len(record.steps)
-        dep_wait = max(0.0, total - compute - comm - overhead)
+        dep_wait = max(0.0, total - compute - comm - overhead - checkpoint)
         return {
             "total": total,
             "compute": compute,
             "communication": comm,
             "overhead": overhead,
+            "checkpoint": checkpoint,
             "dependency_wait": dep_wait,
         }
 

@@ -18,7 +18,7 @@ import numpy as np
 
 __all__ = ["StepRecord", "IterationRecord", "Counters", "COMM_TAGS"]
 
-COMM_TAGS = ("update", "dep", "sync", "push")
+COMM_TAGS = ("update", "dep", "sync", "push", "ckpt")
 
 
 @dataclass
@@ -38,6 +38,9 @@ class StepRecord:
     low_vertices: np.ndarray = field(default=None)  # type: ignore[assignment]
     update_bytes: np.ndarray = field(default=None)  # type: ignore[assignment]
     dep_bytes: np.ndarray = field(default=None)  # type: ignore[assignment]
+    # per-machine compute slowdown multiplier (straggler injection);
+    # 1.0 everywhere when no fault plan is active
+    slowdown: np.ndarray = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         for name in (
@@ -50,6 +53,8 @@ class StepRecord:
         ):
             if getattr(self, name) is None:
                 setattr(self, name, np.zeros(self.num_machines, dtype=np.int64))
+        if self.slowdown is None:
+            self.slowdown = np.ones(self.num_machines, dtype=np.float64)
 
     def total_edges(self) -> int:
         return int(self.high_edges.sum() + self.low_edges.sum())
@@ -62,6 +67,7 @@ class IterationRecord:
     steps: List[StepRecord] = field(default_factory=list)
     sync_bytes: int = 0
     push_bytes: int = 0
+    ckpt_bytes: int = 0
     mode: str = "pull"
 
     def total_edges(self) -> int:
@@ -78,6 +84,10 @@ class Counters:
         self.bytes_by_tag: Dict[str, int] = {tag: 0 for tag in COMM_TAGS}
         self.messages_by_tag: Dict[str, int] = {tag: 0 for tag in COMM_TAGS}
         self.iterations: List[IterationRecord] = []
+        # simulated time charged outside the iteration records: message
+        # retransmission backoff, injected delivery delays, recovery
+        # restarts (priced directly, not derived from work records)
+        self.penalty_time = 0.0
 
     # -- recording -------------------------------------------------------
 
@@ -95,6 +105,12 @@ class Counters:
 
     def add_iteration(self, record: IterationRecord) -> None:
         self.iterations.append(record)
+
+    def add_penalty(self, time: float) -> None:
+        """Charge simulated time not derived from work records."""
+        if time < 0:
+            raise ValueError("penalty time must be non-negative")
+        self.penalty_time += float(time)
 
     # -- reporting ---------------------------------------------------------
 
@@ -115,6 +131,10 @@ class Counters:
         return self.bytes_by_tag["push"]
 
     @property
+    def ckpt_bytes(self) -> int:
+        return self.bytes_by_tag["ckpt"]
+
+    @property
     def total_bytes(self) -> int:
         return sum(self.bytes_by_tag.values())
 
@@ -126,6 +146,7 @@ class Counters:
             self.bytes_by_tag[tag] += other.bytes_by_tag[tag]
             self.messages_by_tag[tag] += other.messages_by_tag[tag]
         self.iterations.extend(other.iterations)
+        self.penalty_time += other.penalty_time
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -135,6 +156,7 @@ class Counters:
             "dep_bytes": self.dep_bytes,
             "sync_bytes": self.sync_bytes,
             "push_bytes": self.push_bytes,
+            "ckpt_bytes": self.ckpt_bytes,
             "total_bytes": self.total_bytes,
             "iterations": len(self.iterations),
         }

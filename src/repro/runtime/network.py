@@ -10,14 +10,36 @@ matching how the paper counts communication volume.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import EngineError
 from repro.runtime.counters import COMM_TAGS, Counters
 
-__all__ = ["SimulatedNetwork"]
+__all__ = ["SimulatedNetwork", "DeliveryOutcome"]
+
+
+@dataclass
+class DeliveryOutcome:
+    """What happened to one transfer on a faulty fabric.
+
+    Returned by a delivery hook (see
+    :class:`~repro.fault.injector.FaultController`): ``attempts`` counts
+    transmissions until the message got through (retransmissions after
+    drops), ``extra_copies`` counts spurious duplicate deliveries, and
+    ``delay`` is simulated time lost to in-flight delay plus
+    retransmission backoff.  The default outcome is a clean delivery.
+    """
+
+    attempts: int = 1
+    extra_copies: int = 0
+    delay: float = 0.0
+
+    @property
+    def transmissions(self) -> int:
+        return self.attempts + self.extra_copies
 
 
 class SimulatedNetwork:
@@ -27,6 +49,12 @@ class SimulatedNetwork:
     to :attr:`log` as a ``(src, dst, tag, bytes)`` tuple (bounded by
     ``trace_limit``) — a debugging aid for protocol work, off by
     default to keep long runs cheap.
+
+    A :attr:`delivery_hook` — ``(src, dst, tag, nbytes) ->
+    DeliveryOutcome | None`` — lets a fault injector intercept every
+    transfer: retransmissions and duplicate copies are charged as extra
+    bytes/messages, delays as penalty time on the counters.  The hook
+    may raise to model an unrecoverable delivery failure.
     """
 
     def __init__(
@@ -53,6 +81,9 @@ class SimulatedNetwork:
         self.trace_limit = trace_limit
         self.log: list[Tuple[int, int, str, int]] = []
         self.dropped_log_entries = 0
+        self.delivery_hook: Optional[
+            Callable[[int, int, str, int], Optional[DeliveryOutcome]]
+        ] = None
 
     def send(
         self, src: int, dst: int, tag: str, nbytes: int, messages: int = 1
@@ -66,6 +97,15 @@ class SimulatedNetwork:
             raise EngineError("cannot send a negative number of bytes")
         if src == dst:
             return
+        if self.delivery_hook is not None:
+            outcome = self.delivery_hook(src, dst, tag, nbytes)
+            if outcome is not None and outcome.transmissions > 1:
+                # retransmissions and duplicates repeat the payload
+                extra = outcome.transmissions - 1
+                nbytes = int(nbytes) * outcome.transmissions
+                messages = int(messages) + extra
+            if outcome is not None and outcome.delay > 0.0:
+                self.counters.add_penalty(outcome.delay)
         self.traffic[tag][src, dst] += int(nbytes)
         self.message_counts[tag][src, dst] += int(messages)
         self.counters.add_bytes(tag, nbytes, messages)

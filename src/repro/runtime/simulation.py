@@ -88,10 +88,10 @@ def simulate_circulant_iteration(
         step = steps[s]
         c_high = float(
             cost_model.compute_time([step.high_edges[m]], [step.high_vertices[m]])[0]
-        )
+        ) * float(step.slowdown[m])
         c_low = float(
             cost_model.compute_time([step.low_edges[m]], [step.low_vertices[m]])[0]
-        )
+        ) * float(step.slowdown[m])
         has_work = (c_high + c_low) > 0
         t = free_at[m] + (cost_model.step_overhead if has_work else 0.0)
         t += c_low
