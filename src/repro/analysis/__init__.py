@@ -31,6 +31,7 @@ from repro.analysis.instrument import (
     analyze_and_instrument,
     instrument_signal,
 )
+from repro.analysis.kernelspec import KernelSpec, classify_kernel
 from repro.analysis.linter import LintRun, discover_udfs, run_lint
 from repro.analysis.properties import (
     CheckResult,
@@ -91,6 +92,8 @@ __all__ = [
     "AnalyzedSignal",
     "instrument_signal",
     "analyze_and_instrument",
+    "KernelSpec",
+    "classify_kernel",
     "fold_while",
     "explain_signal",
     "render_text",

@@ -36,6 +36,7 @@ from repro.analysis.ast_analysis import (
 )
 from repro.analysis.cfg import build_cfg
 from repro.analysis.dataflow import ReachingDefinitions, definitely_assigned_at
+from repro.analysis.kernelspec import KernelSpec, classify_kernel
 from repro.errors import InstrumentationError
 
 __all__ = ["AnalyzedSignal", "instrument_signal", "analyze_and_instrument"]
@@ -51,6 +52,7 @@ class AnalyzedSignal:
     info: DependencyInfo
     instrumented: Optional[Callable] = None
     instrumented_source: Optional[str] = None
+    kernel: Optional[KernelSpec] = None
 
     @property
     def has_dependency(self) -> bool:
@@ -171,9 +173,12 @@ def instrument_signal(fn: Callable) -> AnalyzedSignal:
     """Run both analyzer passes and compile the instrumented UDF."""
     sig = parse_signal(fn)
     info = analyze_parsed(sig)
+    kernel = classify_kernel(sig, info)
     if not info.has_dependency:
-        return AnalyzedSignal(original=fn, info=info)
-    return _transform(fn, sig, info)
+        return AnalyzedSignal(original=fn, info=info, kernel=kernel)
+    analyzed = _transform(fn, sig, info)
+    analyzed.kernel = kernel
+    return analyzed
 
 
 # Back-compat friendly alias used throughout the engines.

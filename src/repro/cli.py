@@ -168,6 +168,11 @@ def _add_run_args(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--schedule", default="circulant", choices=("circulant", "naive")
     )
+    cmd.add_argument(
+        "--no-kernels", action="store_true",
+        help="force the per-vertex UDF interpreter (disable the "
+        "batched NumPy kernel fast path; results are identical)",
+    )
 
 
 def _options(args) -> SympleOptions:
@@ -175,6 +180,7 @@ def _options(args) -> SympleOptions:
         double_buffering=not args.no_double_buffering,
         differentiated=not args.no_differentiated,
         schedule=args.schedule,
+        use_kernels=not args.no_kernels,
     )
 
 

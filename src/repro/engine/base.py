@@ -28,6 +28,7 @@ import numpy as np
 from repro.analysis.instrument import AnalyzedSignal, instrument_signal
 from repro.engine.state import StateStore
 from repro.errors import EngineError
+from repro.kernels import get_kernel
 from repro.partition.base import Partition
 from repro.runtime.cost_model import CostModel
 from repro.runtime.counters import Counters, IterationRecord, StepRecord
@@ -120,13 +121,19 @@ class BaseEngine:
     supports_dependency = False
     sync_scope = "in"  # which replica holders receive state broadcasts
 
-    def __init__(self, partition: Partition, default_cost: CostModel) -> None:
+    def __init__(
+        self,
+        partition: Partition,
+        default_cost: CostModel,
+        use_kernels: bool = True,
+    ) -> None:
         self.partition = partition
         self.graph = partition.graph
         self.num_machines = partition.num_machines
         self.counters = Counters(self.num_machines)
         self.network = SimulatedNetwork(self.num_machines, self.counters)
         self.default_cost = default_cost
+        self.use_kernels = use_kernels
         self._analyzed: Dict[int, AnalyzedSignal] = {}
         self._fault_controller = None
 
@@ -260,6 +267,137 @@ class BaseEngine:
         self.counters.add_edges(int(step.high_edges.sum()))
         self.counters.add_vertices(int(step.high_vertices.sum()))
         return PushResult(changed, applied, int(step.high_edges.sum()))
+
+    # -- batched kernel fast path ---------------------------------------------
+
+    def _kernel_plan(self, analyzed: AnalyzedSignal, state: StateStore):
+        """``(spec, kernel)`` when the batched fast path applies, else None.
+
+        Requires the engine opt-in (``use_kernels``), a classification
+        from the analyzer, a registered kernel for its kind, and a
+        state layout matching the arrays the compiled expressions read.
+        Any miss means the per-vertex interpreter runs — the fallback
+        contract documented in ``docs/API.md``.
+        """
+        if not self.use_kernels:
+            return None
+        spec = analyzed.kernel
+        if spec is None:
+            return None
+        kernel = get_kernel(spec.kind)
+        if kernel is None or not spec.compatible(state):
+            return None
+        return spec, kernel
+
+    def _grouped_sends_ok(self) -> bool:
+        """May per-vertex update messages be coalesced into one send?
+
+        Grouping keeps bytes_by_tag/messages_by_tag identical (via
+        ``messages=count``) but would change what a delivery hook or
+        the trace log observes per message, so both force the
+        one-send-per-vertex path.
+        """
+        return self.network.delivery_hook is None and not self.network.trace
+
+    def _emit_kernel_batch(
+        self,
+        m: int,
+        vertices: np.ndarray,
+        values: np.ndarray,
+        update_bytes: int,
+        step: StepRecord,
+        buffer: "_UpdateBuffer",
+    ) -> None:
+        """Meter and buffer a batch of emitting vertices on machine ``m``.
+
+        Send order matches the interpreter (ascending vertex within the
+        batch); when grouping is allowed, each destination master gets
+        one coalesced send carrying the same bytes and message count.
+        """
+        if vertices.size == 0:
+            return
+        masters = self.partition.master_of[vertices]
+        remote = masters != m
+        n_remote = int(remote.sum())
+        if n_remote:
+            if self._grouped_sends_ok():
+                dsts, counts = np.unique(masters[remote], return_counts=True)
+                for dst, cnt in zip(dsts, counts):
+                    self.network.send(
+                        m,
+                        int(dst),
+                        "update",
+                        update_bytes * int(cnt),
+                        messages=int(cnt),
+                    )
+            else:
+                for dst in masters[remote]:
+                    self.network.send(m, int(dst), "update", update_bytes)
+            step.update_bytes[m] += update_bytes * n_remote
+        for v, value in zip(vertices.tolist(), values):
+            buffer.add(v, value)
+
+    def _pull_parallel(
+        self,
+        analyzed: AnalyzedSignal,
+        slot: Callable,
+        state: StateStore,
+        active_idx: np.ndarray,
+        update_bytes: int,
+        sync_bytes: int,
+    ) -> PullResult:
+        """BSP parallel pull: every machine scans its local in-edges
+        of every active vertex with the original (un-instrumented)
+        signal — Gemini's schedule, shared by all engines when there is
+        no dependency to enforce.  Dispatches whole per-machine batches
+        to a classified kernel when one applies."""
+        phase = self._phase_begin()
+        fn = analyzed.original
+        master_of = self.partition.master_of
+        record = IterationRecord(mode="pull")
+        step = self._make_step(phase)
+        buffer = _UpdateBuffer()
+        plan = self._kernel_plan(analyzed, state)
+        for m in range(self.num_machines):
+            local = self.partition.local_in(m)
+            cand = self._active_candidates(active_idx, m)
+            if plan is not None:
+                spec, kernel = plan
+                batch = kernel(spec, state, local, cand)
+                step.high_edges[m] += int(batch.edges.sum())
+                step.high_vertices[m] += int(cand.size)
+                self._emit_kernel_batch(
+                    m,
+                    cand[batch.emit_mask],
+                    batch.values[batch.emit_mask],
+                    update_bytes,
+                    step,
+                    buffer,
+                )
+                continue
+            for v in cand:
+                v = int(v)
+                nbrs = CountingNeighbors(local.neighbors(v))
+                emitted: list = []
+                fn(v, nbrs, state, emitted.append)
+                step.high_edges[m] += nbrs.count
+                step.high_vertices[m] += 1
+                if not emitted:
+                    continue
+                master = int(master_of[v])
+                if master != m:
+                    nbytes = update_bytes * len(emitted)
+                    self.network.send(m, master, "update", nbytes)
+                    step.update_bytes[m] += nbytes
+                for value in emitted:
+                    buffer.add(v, value)
+        changed, applied = buffer.apply(slot, state)
+        record.steps = [step]
+        self._count_sync(changed, sync_bytes, record)
+        self.counters.add_iteration(record)
+        self.counters.add_edges(int(step.high_edges.sum()))
+        self.counters.add_vertices(int(step.high_vertices.sum()))
+        return PullResult(changed, applied, int(step.high_edges.sum()))
 
     # -- protocol helpers -------------------------------------------------------
 

@@ -15,17 +15,10 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine.base import (
-    BaseEngine,
-    CountingNeighbors,
-    PullResult,
-    SignalLike,
-    _UpdateBuffer,
-)
+from repro.engine.base import BaseEngine, PullResult, SignalLike
 from repro.engine.state import StateStore
 from repro.partition.base import Partition
 from repro.runtime.cost_model import DGALOIS_COST, CostModel
-from repro.runtime.counters import IterationRecord, StepRecord
 
 __all__ = ["DGaloisEngine"]
 
@@ -39,9 +32,12 @@ class DGaloisEngine(BaseEngine):
     sync_scope = "both"
 
     def __init__(
-        self, partition: Partition, cost_model: CostModel = DGALOIS_COST
+        self,
+        partition: Partition,
+        cost_model: CostModel = DGALOIS_COST,
+        use_kernels: bool = True,
     ) -> None:
-        super().__init__(partition, cost_model)
+        super().__init__(partition, cost_model, use_kernels=use_kernels)
 
     def pull(
         self,
@@ -55,39 +51,10 @@ class DGaloisEngine(BaseEngine):
         allow_differentiated: bool = True,
         share_dep_data: bool = True,
     ) -> PullResult:
-        phase = self._phase_begin()
+        """Dense pull on the shared BSP schedule (kernel fast path
+        included); only the sync scope differs from Gemini."""
         active_idx = self._check_active(active)
         analyzed = self.ensure_analyzed(signal)
-        fn = analyzed.original
-        master_of = self.partition.master_of
-
-        record = IterationRecord(mode="pull")
-        step = self._make_step(phase)
-        buffer = _UpdateBuffer()
-
-        for m in range(self.num_machines):
-            local = self.partition.local_in(m)
-            for v in self._active_candidates(active_idx, m):
-                v = int(v)
-                nbrs = CountingNeighbors(local.neighbors(v))
-                emitted: list = []
-                fn(v, nbrs, state, emitted.append)
-                step.high_edges[m] += nbrs.count
-                step.high_vertices[m] += 1
-                if not emitted:
-                    continue
-                master = int(master_of[v])
-                if master != m:
-                    nbytes = update_bytes * len(emitted)
-                    self.network.send(m, master, "update", nbytes)
-                    step.update_bytes[m] += nbytes
-                for value in emitted:
-                    buffer.add(v, value)
-
-        changed, applied = buffer.apply(slot, state)
-        record.steps = [step]
-        self._count_sync(changed, sync_bytes, record)
-        self.counters.add_iteration(record)
-        self.counters.add_edges(int(step.high_edges.sum()))
-        self.counters.add_vertices(int(step.high_vertices.sum()))
-        return PullResult(changed, applied, int(step.high_edges.sum()))
+        return self._pull_parallel(
+            analyzed, slot, state, active_idx, update_bytes, sync_bytes
+        )

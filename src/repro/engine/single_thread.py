@@ -28,7 +28,10 @@ class SingleThreadEngine(GeminiEngine):
     cost_kind = "single"
 
     def __init__(
-        self, graph: CSRGraph, cost_model: CostModel = SINGLE_THREAD_COST
+        self,
+        graph: CSRGraph,
+        cost_model: CostModel = SINGLE_THREAD_COST,
+        use_kernels: bool = True,
     ) -> None:
         partition = OutgoingEdgeCut().partition(graph, 1)
-        super().__init__(partition, cost_model)
+        super().__init__(partition, cost_model, use_kernels=use_kernels)

@@ -79,6 +79,12 @@ class SympleOptions:
     every other fault draw.  An attached
     :class:`~repro.fault.injector.FaultController` with a dep-drop
     fault takes precedence over these options.
+
+    ``use_kernels`` enables the batched NumPy fast path
+    (:mod:`repro.kernels`) for UDFs the analyzer classified into a
+    vectorizable shape; results, counters, and traffic are bit-identical
+    either way, so this is purely a wall-clock switch (and the escape
+    hatch if a kernel is ever suspected of disagreeing).
     """
 
     degree_threshold: int = DEFAULT_DEGREE_THRESHOLD
@@ -87,6 +93,7 @@ class SympleOptions:
     schedule: str = "circulant"
     dep_loss_rate: float = 0.0
     dep_loss_seed: int = 0
+    use_kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.schedule not in ("circulant", "naive"):
@@ -126,8 +133,10 @@ class SympleGraphEngine(BaseEngine):
         options: Optional[SympleOptions] = None,
         cost_model: CostModel = SYMPLE_COST,
     ) -> None:
-        super().__init__(partition, cost_model)
         self.options = options or SympleOptions()
+        super().__init__(
+            partition, cost_model, use_kernels=self.options.use_kernels
+        )
         if self.options.differentiated:
             self._high_mask = (
                 partition.graph.in_degrees() >= self.options.degree_threshold
@@ -171,48 +180,6 @@ class SympleGraphEngine(BaseEngine):
             share_dep_data,
         )
 
-    def _pull_parallel(
-        self,
-        analyzed,
-        slot: Callable,
-        state: StateStore,
-        active_idx: np.ndarray,
-        update_bytes: int,
-        sync_bytes: int,
-    ) -> PullResult:
-        """Gemini-style parallel pull (no dependency to enforce)."""
-        phase = self._phase_begin()
-        fn = analyzed.original
-        master_of = self.partition.master_of
-        record = IterationRecord(mode="pull")
-        step = self._make_step(phase)
-        buffer = _UpdateBuffer()
-        for m in range(self.num_machines):
-            local = self.partition.local_in(m)
-            for v in self._active_candidates(active_idx, m):
-                v = int(v)
-                nbrs = CountingNeighbors(local.neighbors(v))
-                emitted: list = []
-                fn(v, nbrs, state, emitted.append)
-                step.high_edges[m] += nbrs.count
-                step.high_vertices[m] += 1
-                if not emitted:
-                    continue
-                master = int(master_of[v])
-                if master != m:
-                    nbytes = update_bytes * len(emitted)
-                    self.network.send(m, master, "update", nbytes)
-                    step.update_bytes[m] += nbytes
-                for value in emitted:
-                    buffer.add(v, value)
-        changed, applied = buffer.apply(slot, state)
-        record.steps = [step]
-        self._count_sync(changed, sync_bytes, record)
-        self.counters.add_iteration(record)
-        self.counters.add_edges(int(step.high_edges.sum()))
-        self.counters.add_vertices(int(step.high_vertices.sum()))
-        return PullResult(changed, applied, int(step.high_edges.sum()))
-
     def _pull_circulant(
         self,
         analyzed,
@@ -241,8 +208,6 @@ class SympleGraphEngine(BaseEngine):
         else:
             high_mask = np.ones(self.graph.num_vertices, dtype=bool)
 
-        active_mask = np.zeros(self.graph.num_vertices, dtype=bool)
-        active_mask[active_idx] = True
         # Dependency-loss draws: an attached FaultController owns the
         # (single, plan-seeded) stream; the legacy SympleOptions knobs
         # keep their per-pull generator for backward compatibility.
@@ -259,7 +224,37 @@ class SympleGraphEngine(BaseEngine):
         else:
             dep_lost = None
 
-        # Pre-split each machine's candidate list by destination partition.
+        plan = self._kernel_plan(analyzed, state)
+        if (
+            plan is not None
+            and controller is not None
+            and controller.dep_loss_rate > 0.0
+            and controller.delivery_faults_active
+        ):
+            # Dep-loss draws and delivery-fault draws come from the
+            # plan's single generator, interleaved per vertex by the
+            # interpreter; batching would reorder them, so a combined
+            # schedule keeps the per-vertex path.
+            plan = None
+
+        # Loop-invariant hoisting: local degree arrays, the
+        # per-partition candidate split, and each partition's
+        # circulated-vertex count are step-independent — computed once
+        # per pull (O(p * |active|)) instead of once per
+        # (step, machine) pair (O(p^2 * |active|)).
+        machine_degs = [
+            self.partition.local_in(m).degrees() for m in range(p)
+        ]
+        by_master = [active_idx[master_of[active_idx] == j] for j in range(p)]
+        part_high_size = [
+            int(np.count_nonzero(high_mask[part])) for part in by_master
+        ]
+        dep_payload_bytes = (
+            dep_data_bytes * len(analyzed.info.carried_vars)
+            if has_data
+            else 0
+        )
+
         record = IterationRecord(mode="pull")
         buffer = _UpdateBuffer()
         steps: List[StepRecord] = []
@@ -273,14 +268,32 @@ class SympleGraphEngine(BaseEngine):
                 # guarantees correctness under incomplete information).
                 controller.check_crash(phase, s)
             step = self._make_step(phase)
+            is_last = s == p - 1
             for m in range(p):
                 j = circulant_partition(m, s, p)
                 local = self.partition.local_in(m)
-                degs = local.degrees()
-                cand = active_idx[
-                    (master_of[active_idx] == j) & (degs[active_idx] > 0)
-                ]
-                is_last = s == p - 1
+                part = by_master[j]
+                cand = part[machine_degs[m][part] > 0]
+                if plan is not None:
+                    self._circulant_kernel_batch(
+                        plan,
+                        state,
+                        local,
+                        cand,
+                        high_mask,
+                        dep_store,
+                        has_data,
+                        dep_lost,
+                        m,
+                        j,
+                        update_bytes,
+                        step,
+                        buffer,
+                    )
+                    self._circulant_handoff(
+                        s, m, part_high_size[j], dep_payload_bytes, step
+                    )
+                    continue
                 for v in cand:
                     v = int(v)
                     emitted: list = []
@@ -329,31 +342,9 @@ class SympleGraphEngine(BaseEngine):
                     for value in emitted:
                         buffer.add(v, value)
 
-                # Dependency hand-off to the machine on the left
-                # (skipped after the final step: the master now holds
-                # the complete state locally).
-                if s < p - 1:
-                    part_vertices = active_idx[
-                        (master_of[active_idx] == j) & high_mask[active_idx]
-                    ]
-                    if part_vertices.size:
-                        # Control bits travel as a packed bitmap; carried
-                        # data travels as the SoA array slice for every
-                        # circulated vertex (Section 6's layout) — this
-                        # is why sampling's dependency traffic is large
-                        # while BFS/MIS pay one bit per vertex.
-                        bits = Bitmap.wire_bytes(part_vertices.size)
-                        data = 0
-                        if has_data:
-                            data = (
-                                part_vertices.size
-                                * dep_data_bytes
-                                * len(analyzed.info.carried_vars)
-                            )
-                        nbytes = bits + data
-                        left = (m - 1) % p
-                        self.network.send(m, left, "dep", nbytes)
-                        step.dep_bytes[m] += nbytes
+                self._circulant_handoff(
+                    s, m, part_high_size[j], dep_payload_bytes, step
+                )
             steps.append(step)
             total_edges += step.total_edges()
 
@@ -371,6 +362,117 @@ class SympleGraphEngine(BaseEngine):
             )
         )
         return PullResult(changed, applied, total_edges)
+
+    def _circulant_handoff(
+        self,
+        s: int,
+        m: int,
+        part_high: int,
+        dep_payload_bytes: int,
+        step: StepRecord,
+    ) -> None:
+        """Dependency hand-off to the machine on the left (skipped
+        after the final step: the master now holds the complete state
+        locally).
+
+        Control bits travel as a packed bitmap; carried data travels as
+        the SoA array slice for every circulated vertex (Section 6's
+        layout) — this is why sampling's dependency traffic is large
+        while BFS/MIS pay one bit per vertex.
+        """
+        if s >= self.num_machines - 1 or part_high == 0:
+            return
+        nbytes = Bitmap.wire_bytes(part_high) + part_high * dep_payload_bytes
+        left = (m - 1) % self.num_machines
+        self.network.send(m, left, "dep", nbytes)
+        step.dep_bytes[m] += nbytes
+
+    def _circulant_kernel_batch(
+        self,
+        plan,
+        state: StateStore,
+        local,
+        cand: np.ndarray,
+        high_mask: np.ndarray,
+        dep_store: DepStore,
+        has_data: bool,
+        dep_lost,
+        m: int,
+        j: int,
+        update_bytes: int,
+        step: StepRecord,
+        buffer: _UpdateBuffer,
+    ) -> None:
+        """One (step, machine) circulant batch on the kernel fast path.
+
+        Replays the interpreter exactly: skip-bit filtering (with
+        per-vertex dependency-loss draws in ascending vertex order),
+        restored carried data for the high-degree batch, dep-store
+        write-back of break bits and final carried values, separate
+        high/low metering, and emissions merged back into ascending
+        vertex order before buffering/sending.
+        """
+        spec, kernel = plan
+        high_sel = high_mask[cand]
+        high = cand[high_sel]
+        low = cand[~high_sel]
+
+        run_mask = ~dep_store.skip[high]
+        blind = np.zeros(high.size, dtype=bool)
+        if dep_lost is not None and not has_data:
+            # One draw per skipped vertex, ascending — the same
+            # sequence of generator calls the interpreter makes.
+            for i in np.flatnonzero(~run_mask):
+                if dep_lost():
+                    blind[i] = True
+            run_mask |= blind
+        run = high[run_mask]
+        blind_run = blind[run_mask]
+
+        carried_name = spec.carried_vars[0] if spec.carried_vars else None
+        carried_in = None
+        if has_data and carried_name is not None:
+            present = dep_store.present[carried_name][run] & ~blind_run
+            carried_in = (present, dep_store.data[carried_name][run])
+        batch = kernel(spec, state, local, run, carried_in=carried_in)
+        step.high_edges[m] += int(batch.edges.sum())
+        step.high_vertices[m] += int(run.size)
+        if batch.broke is not None:
+            dep_store.skip[run[batch.broke]] = True
+        if has_data and carried_name is not None and run.size:
+            dep_store.data[carried_name][run] = batch.carried
+            dep_store.present[carried_name][run] = True
+
+        low_batch = kernel(spec, state, local, low)
+        step.low_edges[m] += int(low_batch.edges.sum())
+        step.low_vertices[m] += int(low.size)
+
+        emit_v = np.concatenate(
+            [run[batch.emit_mask], low[low_batch.emit_mask]]
+        )
+        if emit_v.size == 0:
+            return
+        emit_vals = np.concatenate(
+            [
+                batch.values[batch.emit_mask],
+                low_batch.values[low_batch.emit_mask],
+            ]
+        )
+        order = np.argsort(emit_v)
+        emit_v = emit_v[order]
+        emit_vals = emit_vals[order]
+        if j != m:
+            count = int(emit_v.size)
+            if self._grouped_sends_ok():
+                self.network.send(
+                    m, j, "update", update_bytes * count, messages=count
+                )
+            else:
+                for _ in range(count):
+                    self.network.send(m, j, "update", update_bytes)
+            step.update_bytes[m] += update_bytes * count
+        for v, value in zip(emit_v.tolist(), emit_vals):
+            buffer.add(v, value)
 
     # -- timing ---------------------------------------------------------------
 

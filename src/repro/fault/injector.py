@@ -134,6 +134,19 @@ class FaultController:
 
     # -- message delivery --------------------------------------------------
 
+    @property
+    def delivery_faults_active(self) -> bool:
+        """Does :meth:`deliver` make probabilistic draws on this plan?
+
+        True when any message fault is applied by the delivery hook
+        (dep drops are handled semantically in the engine and excluded).
+        The SympleGraph engine consults this to decide whether batched
+        kernels may run under a dep-loss plan: when the hook also draws
+        from the shared generator, only the per-vertex interpreter
+        preserves the draw order.
+        """
+        return bool(self._delivery_faults)
+
     def deliver(
         self, src: int, dst: int, tag: str, nbytes: int
     ) -> Optional[DeliveryOutcome]:

@@ -40,6 +40,7 @@ class LocalAdjacency:
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
+        self._degrees: Optional[np.ndarray] = None
 
     def neighbors(self, v: int) -> np.ndarray:
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
@@ -53,7 +54,11 @@ class LocalAdjacency:
         return int(self.indptr[v + 1] - self.indptr[v])
 
     def degrees(self) -> np.ndarray:
-        return np.diff(self.indptr)
+        # Engines call this once per (phase, machine); the CSR is
+        # immutable after construction, so compute the diff once.
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
 
     @property
     def num_edges(self) -> int:

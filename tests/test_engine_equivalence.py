@@ -11,13 +11,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import bfs, connected_components, kcore, mis
+from repro.algorithms import bfs, connected_components, kcore, mis, pagerank
 from repro.engine import (
+    DGaloisEngine,
     GeminiEngine,
     SingleThreadEngine,
     SympleGraphEngine,
     SympleOptions,
 )
+from repro.fault import FaultController, FaultPlan, MessageFault
 from repro.graph import erdos_renyi, to_undirected
 from repro.partition import OutgoingEdgeCut
 
@@ -126,3 +128,165 @@ class TestCCEquivalence:
         l1 = connected_components(gemini).label
         l2 = connected_components(symple).label
         assert np.array_equal(l1, l2)
+
+
+# -- kernel fast path vs per-vertex interpreter -----------------------------
+#
+# The batched NumPy kernels must be invisible: same results, same
+# counters, same traffic, byte for byte.  We run every algorithm on
+# every engine twice — use_kernels on and off — and diff everything
+# the engines observe.
+
+ALGORITHMS = {
+    "bfs": lambda eng: bfs(eng, 0, mode="bottomup"),
+    "mis": lambda eng: mis(eng, seed=5),
+    "kcore": lambda eng: kcore(eng, k=3),
+    "pagerank": lambda eng: pagerank(eng, iterations=6),
+    "cc": connected_components,
+}
+
+ENGINES = {
+    "gemini": lambda part, uk: GeminiEngine(part, use_kernels=uk),
+    "dgalois": lambda part, uk: DGaloisEngine(part, use_kernels=uk),
+    "symple": lambda part, uk: SympleGraphEngine(
+        part, options=SympleOptions(use_kernels=uk)
+    ),
+}
+
+
+def assert_observably_identical(eng_a, res_a, eng_b, res_b):
+    """Results, counters, and network observations match bit for bit."""
+    arrays_a = {
+        k: v for k, v in vars(res_a).items() if isinstance(v, np.ndarray)
+    }
+    arrays_b = {
+        k: v for k, v in vars(res_b).items() if isinstance(v, np.ndarray)
+    }
+    assert arrays_a.keys() == arrays_b.keys()
+    for key in arrays_a:
+        assert np.array_equal(arrays_a[key], arrays_b[key]), key
+    assert eng_a.counters.summary() == eng_b.counters.summary()
+    for tag in eng_a.network.traffic:
+        assert np.array_equal(
+            eng_a.network.traffic[tag], eng_b.network.traffic[tag]
+        ), tag
+        assert np.array_equal(
+            eng_a.network.message_counts[tag],
+            eng_b.network.message_counts[tag],
+        ), tag
+
+
+class TestKernelInterpreterEquivalence:
+    @pytest.mark.parametrize("machines", [1, 3, 4])
+    @pytest.mark.parametrize("engine_name", sorted(ENGINES))
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_bit_identical(self, algorithm, engine_name, machines):
+        graph = random_graph(seed=7, n=60, m=280)
+        part = OutgoingEdgeCut().partition(graph, machines)
+        run = ALGORITHMS[algorithm]
+        eng_on = ENGINES[engine_name](part, True)
+        eng_off = ENGINES[engine_name](part, False)
+        assert eng_on.use_kernels and not eng_off.use_kernels
+        assert_observably_identical(
+            eng_on, run(eng_on), eng_off, run(eng_off)
+        )
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "kcore", "cc"])
+    def test_isolated_vertices_are_skipped_identically(self, algorithm):
+        # satellite: zero-degree vertices never enter a pull batch
+        graph = to_undirected(erdos_renyi(50, 90, seed=3))
+        part = OutgoingEdgeCut().partition(graph, 3)
+        for m in range(3):
+            eng = SympleGraphEngine(part)
+            cand = eng._active_candidates(np.arange(50), m)
+            assert np.all(part.local_in(m).degrees()[cand] > 0)
+        run = ALGORITHMS[algorithm]
+        eng_on = SympleGraphEngine(part, SympleOptions(use_kernels=True))
+        eng_off = SympleGraphEngine(part, SympleOptions(use_kernels=False))
+        assert_observably_identical(
+            eng_on, run(eng_on), eng_off, run(eng_off)
+        )
+
+
+class TestKernelEquivalenceUnderFaults:
+    """Kernels must stay invisible under fault injection too — the RNG
+    draw sequence (dep-loss coin flips, delivery-hook draws) is part of
+    the observable behavior, so both paths must replay it exactly."""
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "mis", "kcore"])
+    def test_dep_loss_plan(self, algorithm):
+        graph = random_graph(seed=13, n=60, m=280)
+        part = OutgoingEdgeCut().partition(graph, 4)
+        run = ALGORITHMS[algorithm]
+        results = {}
+        for uk in (True, False):
+            eng = SympleGraphEngine(part, SympleOptions(use_kernels=uk))
+            controller = FaultController(FaultPlan.dep_loss(0.3, seed=11), 4)
+            eng.attach_faults(controller)
+            results[uk] = (eng, run(eng), controller)
+        eng_on, res_on, ctl_on = results[True]
+        eng_off, res_off, ctl_off = results[False]
+        assert_observably_identical(eng_on, res_on, eng_off, res_off)
+        assert ctl_on.stats == ctl_off.stats
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "kcore"])
+    def test_legacy_dep_loss_options(self, algorithm):
+        graph = random_graph(seed=17, n=60, m=280)
+        part = OutgoingEdgeCut().partition(graph, 3)
+        run = ALGORITHMS[algorithm]
+        engines = {}
+        for uk in (True, False):
+            eng = SympleGraphEngine(
+                part,
+                SympleOptions(
+                    use_kernels=uk, dep_loss_rate=0.25, dep_loss_seed=7
+                ),
+            )
+            engines[uk] = (eng, run(eng))
+        assert_observably_identical(*engines[True], *engines[False])
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "pagerank", "cc"])
+    def test_update_duplicates_force_per_vertex_sends(self, algorithm):
+        # a delivery hook draws once per message, so the kernel path
+        # must fall back to per-vertex sends in ascending order
+        plan = FaultPlan(
+            seed=3, messages=(MessageFault("duplicate", 0.2, tag="update"),)
+        )
+        graph = random_graph(seed=19, n=60, m=280)
+        part = OutgoingEdgeCut().partition(graph, 4)
+        run = ALGORITHMS[algorithm]
+        results = {}
+        for uk in (True, False):
+            eng = SympleGraphEngine(part, SympleOptions(use_kernels=uk))
+            controller = FaultController(plan, 4)
+            eng.attach_faults(controller)
+            results[uk] = (eng, run(eng), controller)
+        eng_on, res_on, ctl_on = results[True]
+        eng_off, res_off, ctl_off = results[False]
+        assert_observably_identical(eng_on, res_on, eng_off, res_off)
+        assert ctl_on.stats == ctl_off.stats
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "kcore"])
+    def test_combined_dep_loss_and_duplicates(self, algorithm):
+        # dep drops + a delivery-hook fault share one generator; the
+        # circulant kernel path self-disables to preserve draw order
+        plan = FaultPlan(
+            seed=23,
+            messages=(
+                MessageFault("drop", 0.2, tag="dep"),
+                MessageFault("duplicate", 0.15, tag="update"),
+            ),
+        )
+        graph = random_graph(seed=23, n=60, m=280)
+        part = OutgoingEdgeCut().partition(graph, 4)
+        run = ALGORITHMS[algorithm]
+        results = {}
+        for uk in (True, False):
+            eng = SympleGraphEngine(part, SympleOptions(use_kernels=uk))
+            controller = FaultController(plan, 4)
+            eng.attach_faults(controller)
+            results[uk] = (eng, run(eng), controller)
+        eng_on, res_on, ctl_on = results[True]
+        eng_off, res_off, ctl_off = results[False]
+        assert_observably_identical(eng_on, res_on, eng_off, res_off)
+        assert ctl_on.stats == ctl_off.stats
