@@ -74,3 +74,16 @@ def emit(table_name: str, text: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{table_name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
+
+
+def export_metrics(name: str, registry) -> str:
+    """Persist a metric registry as JSON next to the bench tables.
+
+    Returns the path written, so CI can pick the file up as an
+    artifact alongside ``BENCH_wallclock.json``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}_metrics.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(registry.export_json_str() + "\n")
+    return path

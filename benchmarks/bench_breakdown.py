@@ -11,11 +11,25 @@ from __future__ import annotations
 
 import pytest
 
-from _shared import cached_run, emit, options_key
+from _shared import cached_run, emit, export_metrics, options_key
 from repro.bench import dataset, format_table, run_algorithm
 from repro.engine import GeminiEngine, SympleGraphEngine, SympleOptions
+from repro.obs import MetricsRegistry, fill_run_metrics, registry_breakdown
 from repro.partition import OutgoingEdgeCut
 from repro.runtime import DGALOIS_COST, GEMINI_COST, SYMPLE_COST
+
+
+def _priced(engine, cost_model, kind, double_buffering=True):
+    """Breakdown via the observability registry (the exported view)."""
+    registry = MetricsRegistry()
+    fill_run_metrics(
+        registry,
+        engine.counters,
+        cost_model=cost_model,
+        engine_kind=kind,
+        double_buffering=double_buffering,
+    )
+    return registry, registry_breakdown(registry)
 
 
 def build_breakdown():
@@ -27,7 +41,8 @@ def build_breakdown():
 
     gemini = GeminiEngine(OutgoingEdgeCut().partition(g, 16))
     mis(gemini, seed=1)
-    b = GEMINI_COST.breakdown(gemini.counters, "gemini")
+    registry, b = _priced(gemini, GEMINI_COST, "gemini")
+    export_metrics("breakdown_gemini", registry)
     data["gemini"] = b
     rows.append(_row("gemini", b))
 
@@ -37,9 +52,10 @@ def build_breakdown():
             options=SympleOptions(double_buffering=db),
         )
         mis(engine, seed=1)
-        b = SYMPLE_COST.breakdown(
-            engine.counters, "symple", double_buffering=db
-        )
+        registry, b = _priced(engine, SYMPLE_COST, "symple",
+                              double_buffering=db)
+        if db:
+            export_metrics("breakdown_symple", registry)
         data[label] = b
         rows.append(_row(label, b))
     return rows, data

@@ -67,6 +67,18 @@ from repro.fault import (
     run_recoverable,
 )
 from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, rmat
+from repro.obs import (
+    MetricsRegistry,
+    ObsHub,
+    Tracer,
+    attribution_rows,
+    fill_run_metrics,
+    read_trace,
+    rebuild_counters,
+    reconstruct_breakdown,
+    registry_breakdown,
+    validate_events,
+)
 from repro.partition import (
     CartesianVertexCut,
     HashVertexCut,
@@ -131,6 +143,17 @@ __all__ = [
     "SYMPLE_COST",
     "DGALOIS_COST",
     "SINGLE_THREAD_COST",
+    # observability
+    "ObsHub",
+    "Tracer",
+    "MetricsRegistry",
+    "fill_run_metrics",
+    "registry_breakdown",
+    "read_trace",
+    "validate_events",
+    "rebuild_counters",
+    "reconstruct_breakdown",
+    "attribution_rows",
     # fault tolerance
     "FaultPlan",
     "CrashFault",

@@ -115,6 +115,7 @@ def run_algorithm(
     fault_plan: Optional[FaultPlan] = None,
     checkpoint_interval: int = 0,
     retention: int = 2,
+    obs=None,
 ) -> RunResult:
     """Execute one experiment and collect its metrics.
 
@@ -127,6 +128,11 @@ def run_algorithm(
     is checkpointed every ``checkpoint_interval`` supersteps, and the
     recovery metrics land in ``extra`` under ``fault_*`` keys.  Only the
     program-ported algorithms (bfs, kcore, mis) support this.
+
+    ``obs`` attaches an observability hub (or tracer, or trace-file
+    path — see :mod:`repro.obs`) to the engine; the harness finalizes
+    it with a ``run_end`` summary event and the run's metrics before
+    returning.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(
@@ -141,7 +147,9 @@ def run_algorithm(
             "and checkpointing support bfs, kcore, and mis"
         )
 
-    engine = make_engine(engine_kind, graph, num_machines, options=options)
+    engine = make_engine(
+        engine_kind, graph, num_machines, options=options, obs=obs
+    )
     extra: Dict[str, float] = {}
 
     def drive(program):
@@ -165,6 +173,8 @@ def run_algorithm(
             reached += result.reached
         extra["avg_reached"] = reached / len(roots)
         time = engine.execution_time(cost_model) / len(roots)
+        if engine.obs is not None:
+            engine.obs.run_end(engine, cost_model)
         return _collect(engine, algorithm, time, extra, scale=1.0 / len(roots))
     if algorithm == "kcore":
         result = drive(KCoreProgram(kcore_k))
@@ -182,6 +192,8 @@ def run_algorithm(
         extra["sampled"] = result.sampled_count
 
     time = engine.execution_time(cost_model)
+    if engine.obs is not None:
+        engine.obs.run_end(engine, cost_model)
     return _collect(engine, algorithm, time, extra)
 
 

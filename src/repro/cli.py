@@ -4,15 +4,24 @@ Run experiments and inspect the framework without writing code::
 
     python -m repro datasets
     python -m repro run --engine symple --dataset s27 --algorithm mis
+    python -m repro run --algorithm bfs --machines 4 --trace run.jsonl
     python -m repro compare --dataset s28 --algorithm kcore --machines 16
     python -m repro analyze bfs
     python -m repro lint src/repro/algorithms --format sarif
+    python -m repro metrics --algorithm bfs --format prom
+    python -m repro trace run.jsonl --breakdown
 
 ``run`` executes one experiment and prints the metrics the paper's
-tables report; ``compare`` runs Gemini and SympleGraph side by side;
-``analyze`` prints the analyzer report for one of the built-in UDFs;
-``lint`` runs the rule engine over signal/slot UDFs and exits 1 on
-warnings, 2 on errors (notes are informational).
+tables report (``--trace``/``--metrics`` additionally stream a JSONL
+event trace / a metrics export); ``compare`` runs Gemini and
+SympleGraph side by side; ``analyze`` prints the analyzer report for
+one of the built-in UDFs; ``lint`` runs the rule engine over
+signal/slot UDFs and exits 1 on warnings, 2 on errors (notes are
+informational); ``metrics`` runs one experiment and exports its metric
+registry as JSON or Prometheus text; ``trace`` validates a recorded
+trace against the event schema (exit 1 on violations) and summarizes
+it, optionally reconstructing the cost breakdown and the per-(machine,
+step) attribution from the trace alone.
 """
 
 from __future__ import annotations
@@ -82,6 +91,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="checkpoint every N supersteps (0 disables, the default)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream a structured JSONL event trace to PATH",
+    )
+    run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the run's metric registry to PATH",
+    )
+    run.add_argument(
+        "--metrics-format",
+        default="json",
+        choices=("json", "prom"),
+        help="metrics export format (default: json)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run one experiment and export its metrics"
+    )
+    _add_run_args(metrics)
+    metrics.add_argument(
+        "--engine",
+        default="symple",
+        choices=("gemini", "symple", "dgalois", "single"),
+    )
+    metrics.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "prom"),
+        help="export format: JSON or Prometheus text (default: json)",
+    )
+    metrics.add_argument(
+        "--output", default=None, help="write the export here instead of stdout"
+    )
+
+    trace = sub.add_parser(
+        "trace", help="validate and summarize a recorded JSONL trace"
+    )
+    trace.add_argument("file", help="trace file written by --trace")
+    trace.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="reconstruct the cost-model breakdown from the trace",
+    )
+    trace.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print the per-(machine, step) compute/dep-wait/overlap table",
     )
 
     compare = sub.add_parser(
@@ -184,7 +245,7 @@ def _options(args) -> SympleOptions:
     )
 
 
-def _execute(engine: str, args):
+def _execute(engine: str, args, obs=None):
     fault_plan = None
     if getattr(args, "faults", None):
         from repro.fault import FaultPlan
@@ -201,7 +262,106 @@ def _execute(engine: str, args):
         kcore_k=args.kcore_k,
         fault_plan=fault_plan,
         checkpoint_interval=getattr(args, "checkpoint_interval", 0),
+        obs=obs,
     )
+
+
+def _export_metrics(registry, fmt: str, output: Optional[str]) -> None:
+    text = (
+        registry.export_prometheus()
+        if fmt == "prom"
+        else registry.export_json_str()
+    )
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"metrics written to {output}")
+    else:
+        print(text)
+
+
+def _trace(args) -> int:
+    """Run ``repro trace``: validate, summarize, optionally reconstruct."""
+    from repro.obs import (
+        read_trace,
+        rebuild_counters,
+        reconstruct_breakdown,
+        summarize_events,
+        validate_events,
+    )
+    from repro.runtime.cost_model import (
+        DGALOIS_COST,
+        GEMINI_COST,
+        SINGLE_THREAD_COST,
+        SYMPLE_COST,
+    )
+
+    try:
+        events = read_trace(args.file)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_events(events)
+    if problems:
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        return 1
+    counts = summarize_events(events)
+    total = sum(counts.values())
+    by_kind = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"{args.file}: {total} events ({by_kind})")
+
+    if not (args.breakdown or args.attribution):
+        return 0
+    run_end = next(
+        (e for e in events if e.get("kind") == "run_end"), None
+    )
+    if run_end is None:
+        print(
+            "trace has no run_end event; cannot reconstruct costs",
+            file=sys.stderr,
+        )
+        return 1
+    presets = {
+        "gemini": GEMINI_COST,
+        "symple": SYMPLE_COST,
+        "dgalois": DGALOIS_COST,
+        "single": SINGLE_THREAD_COST,
+    }
+    model = presets.get(run_end["engine"], SYMPLE_COST)
+    if args.breakdown:
+        breakdown = reconstruct_breakdown(events, model)
+        print(f"cost breakdown ({run_end['engine']} preset):")
+        for component, value in breakdown.items():
+            print(f"  {component:>16}: {value:,.1f}")
+    if args.attribution:
+        from repro.obs import attribution_rows
+
+        rows = attribution_rows(
+            rebuild_counters(events),
+            model,
+            double_buffering=bool(run_end.get("double_buffering", True)),
+        )
+        if not rows:
+            print("no circulant pull iterations to attribute")
+            return 0
+        table = [
+            [
+                r["iteration"], r["step"], r["machine"],
+                f"{r['compute']:,.1f}", f"{r['dep_wait']:,.1f}",
+                f"{r['hidden_wait']:,.1f}", f"{r['finish']:,.1f}",
+            ]
+            for r in rows
+        ]
+        print(
+            format_table(
+                "per-(machine, step) attribution",
+                ["iter", "step", "machine", "compute", "dep.wait",
+                 "hidden.wait", "finish"],
+                table,
+            )
+        )
+    return 0
 
 
 def _metric_rows(results) -> List[List[object]]:
@@ -313,8 +473,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.command == "metrics":
+        from repro.obs import ObsHub
+
+        hub = ObsHub()
+        _execute(args.engine, args, obs=hub)
+        _export_metrics(hub.metrics, args.format, args.output)
+        return 0
+
+    if args.command == "trace":
+        return _trace(args)
+
     if args.command == "run":
-        result = _execute(args.engine, args)
+        hub = None
+        if args.trace or args.metrics:
+            from repro.obs import ObsHub, Tracer
+
+            tracer = Tracer(path=args.trace) if args.trace else None
+            hub = ObsHub(tracer=tracer)
+        result = _execute(args.engine, args, obs=hub)
         print(
             format_table(
                 f"{args.algorithm} on {args.dataset} "
@@ -326,6 +503,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for key, value in sorted(result.extra.items()):
             print(f"{key}: {value}")
+        if hub is not None:
+            hub.close()
+            if args.trace:
+                print(f"trace written to {args.trace}")
+            if args.metrics:
+                _export_metrics(
+                    hub.metrics, args.metrics_format, args.metrics
+                )
         return 0
 
     if args.command == "compare":

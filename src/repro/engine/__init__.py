@@ -42,13 +42,16 @@ def make_engine(
     graph_or_partition: Union[CSRGraph, Partition],
     num_machines: int = 16,
     options: Optional[SympleOptions] = None,
+    obs=None,
 ) -> BaseEngine:
     """Build an engine with its canonical partition strategy.
 
     ``gemini`` and ``symple`` run on Gemini's chunked outgoing
     edge-cut; ``dgalois`` on the Cartesian vertex-cut it defaults to at
     scale; ``single`` on one machine.  Pass a pre-built
-    :class:`Partition` to override the strategy.
+    :class:`Partition` to override the strategy.  ``obs`` attaches an
+    observability hub (an :class:`~repro.obs.hooks.ObsHub`, a
+    :class:`~repro.obs.tracer.Tracer`, or a trace-file path).
     """
     if kind not in _ENGINE_KINDS:
         raise EngineError(
@@ -60,7 +63,7 @@ def make_engine(
             graph = graph_or_partition.graph
         else:
             graph = graph_or_partition
-        return SingleThreadEngine(graph)
+        return SingleThreadEngine(graph, obs=obs)
 
     if isinstance(graph_or_partition, Partition):
         partition = graph_or_partition
@@ -75,7 +78,7 @@ def make_engine(
             )
 
     if kind == "gemini":
-        return GeminiEngine(partition)
+        return GeminiEngine(partition, obs=obs)
     if kind == "dgalois":
-        return DGaloisEngine(partition)
-    return SympleGraphEngine(partition, options=options)
+        return DGaloisEngine(partition, obs=obs)
+    return SympleGraphEngine(partition, options=options, obs=obs)

@@ -21,6 +21,7 @@ Definition 2.2 semantics so all engines compute identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.analysis.instrument import AnalyzedSignal, instrument_signal
 from repro.engine.state import StateStore
 from repro.errors import EngineError
 from repro.kernels import get_kernel
+from repro.obs.hooks import ObsHub
 from repro.partition.base import Partition
 from repro.runtime.cost_model import CostModel
 from repro.runtime.counters import Counters, IterationRecord, StepRecord
@@ -126,6 +128,7 @@ class BaseEngine:
         partition: Partition,
         default_cost: CostModel,
         use_kernels: bool = True,
+        obs: Optional[ObsHub] = None,
     ) -> None:
         self.partition = partition
         self.graph = partition.graph
@@ -136,6 +139,24 @@ class BaseEngine:
         self.use_kernels = use_kernels
         self._analyzed: Dict[int, AnalyzedSignal] = {}
         self._fault_controller = None
+        self.obs: Optional[ObsHub] = None
+        if obs is not None:
+            self.attach_observer(obs)
+
+    # -- observability ------------------------------------------------------
+
+    def attach_observer(self, obs) -> None:
+        """Attach (or with ``None``, detach) an observability hub.
+
+        Accepts an :class:`~repro.obs.hooks.ObsHub`, a bare
+        :class:`~repro.obs.tracer.Tracer`, or a trace-file path.  With
+        no hub attached the engines pay a single None check per call
+        site — the tracing-off overhead contract.
+        """
+        self.obs = None if obs is None else ObsHub.coerce(obs)
+        if self._fault_controller is not None:
+            # the controller caches the hub reference at bind time
+            self._fault_controller.bind(self)
 
     # -- fault injection ---------------------------------------------------
 
@@ -151,12 +172,29 @@ class BaseEngine:
         if controller is not None:
             controller.bind(self)
 
-    def _phase_begin(self) -> int:
+    def _phase_begin(self, mode: str = "pull") -> int:
         """Phase index of the phase about to run; fires crash events."""
         phase = len(self.counters.iterations)
         if self._fault_controller is not None:
             self._fault_controller.check_crash(phase, 0)
+        if self.obs is not None:
+            self.obs.phase_begin(phase, mode, self.cost_kind,
+                                 self.num_machines)
         return phase
+
+    def _obs_commit(self, record: IterationRecord) -> None:
+        """Emit step + phase-end events for a committed one-shot record.
+
+        The circulant engine emits step spans live at real step
+        boundaries; single-step phases (parallel pull, push) report
+        theirs here, right after the record is committed.
+        """
+        if self.obs is None:
+            return
+        for s, step in enumerate(record.steps):
+            self.obs.step_begin(s)
+            self.obs.step_end(s, step)
+        self.obs.phase_end(record)
 
     def _make_step(self, phase: int) -> StepRecord:
         """New step record, with straggler slowdowns applied."""
@@ -222,7 +260,7 @@ class BaseEngine:
         The paper's optimization targets pull mode; push is identical
         across the distributed engines.
         """
-        phase = self._phase_begin()
+        phase = self._phase_begin("push")
         frontier_idx = self._as_indices(frontier)
         record = IterationRecord(mode="push")
         step = self._make_step(phase)
@@ -264,6 +302,7 @@ class BaseEngine:
         record.steps = [step]
         self._count_sync(changed, sync_bytes, record)
         self.counters.add_iteration(record)
+        self._obs_commit(record)
         self.counters.add_edges(int(step.high_edges.sum()))
         self.counters.add_vertices(int(step.high_vertices.sum()))
         return PushResult(changed, applied, int(step.high_edges.sum()))
@@ -288,6 +327,33 @@ class BaseEngine:
         if kernel is None or not spec.compatible(state):
             return None
         return spec, kernel
+
+    def _run_kernel(
+        self,
+        m: int,
+        kernel,
+        spec,
+        state: StateStore,
+        local,
+        vertices: np.ndarray,
+        carried_in=None,
+    ):
+        """Invoke one batched kernel, wall-clock profiled when observed.
+
+        The timing call is skipped entirely with no hub attached so the
+        fast path's hot loop stays unperturbed (the <2% overhead
+        contract of the perf-smoke gate).
+        """
+        if self.obs is None:
+            return kernel(spec, state, local, vertices,
+                          carried_in=carried_in)
+        t0 = perf_counter()
+        batch = kernel(spec, state, local, vertices, carried_in=carried_in)
+        self.obs.kernel_batch(
+            m, spec.kind, int(vertices.size), int(batch.edges.sum()),
+            perf_counter() - t0,
+        )
+        return batch
 
     def _grouped_sends_ok(self) -> bool:
         """May per-vertex update messages be coalesced into one send?
@@ -351,7 +417,7 @@ class BaseEngine:
         signal — Gemini's schedule, shared by all engines when there is
         no dependency to enforce.  Dispatches whole per-machine batches
         to a classified kernel when one applies."""
-        phase = self._phase_begin()
+        phase = self._phase_begin("pull")
         fn = analyzed.original
         master_of = self.partition.master_of
         record = IterationRecord(mode="pull")
@@ -363,7 +429,7 @@ class BaseEngine:
             cand = self._active_candidates(active_idx, m)
             if plan is not None:
                 spec, kernel = plan
-                batch = kernel(spec, state, local, cand)
+                batch = self._run_kernel(m, kernel, spec, state, local, cand)
                 step.high_edges[m] += int(batch.edges.sum())
                 step.high_vertices[m] += int(cand.size)
                 self._emit_kernel_batch(
@@ -395,6 +461,7 @@ class BaseEngine:
         record.steps = [step]
         self._count_sync(changed, sync_bytes, record)
         self.counters.add_iteration(record)
+        self._obs_commit(record)
         self.counters.add_edges(int(step.high_edges.sum()))
         self.counters.add_vertices(int(step.high_vertices.sum()))
         return PullResult(changed, applied, int(step.high_edges.sum()))
@@ -455,7 +522,18 @@ class BaseEngine:
             record = IterationRecord(mode="pull")
             record.steps = [StepRecord(self.num_machines)]
             self.counters.add_iteration(record)
-        self._count_sync(vertices, sync_bytes, self.counters.iterations[-1])
+            if self.obs is not None:
+                self.obs.implicit_record(self.num_machines)
+        target = self.counters.iterations[-1]
+        before = target.sync_bytes
+        self._count_sync(vertices, sync_bytes, target)
+        if self.obs is not None and target.sync_bytes != before:
+            # the delta mutates an already-committed record; the trace
+            # carries it so reconstruction stays exact
+            self.obs.sync_update(
+                len(self.counters.iterations) - 1,
+                target.sync_bytes - before,
+            )
 
     def _active_candidates(
         self, active_idx: np.ndarray, machine: int

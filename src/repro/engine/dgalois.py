@@ -36,8 +36,11 @@ class DGaloisEngine(BaseEngine):
         partition: Partition,
         cost_model: CostModel = DGALOIS_COST,
         use_kernels: bool = True,
+        obs=None,
     ) -> None:
-        super().__init__(partition, cost_model, use_kernels=use_kernels)
+        super().__init__(
+            partition, cost_model, use_kernels=use_kernels, obs=obs
+        )
 
     def pull(
         self,

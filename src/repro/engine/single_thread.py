@@ -32,6 +32,9 @@ class SingleThreadEngine(GeminiEngine):
         graph: CSRGraph,
         cost_model: CostModel = SINGLE_THREAD_COST,
         use_kernels: bool = True,
+        obs=None,
     ) -> None:
         partition = OutgoingEdgeCut().partition(graph, 1)
-        super().__init__(partition, cost_model, use_kernels=use_kernels)
+        super().__init__(
+            partition, cost_model, use_kernels=use_kernels, obs=obs
+        )

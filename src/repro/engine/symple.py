@@ -85,6 +85,11 @@ class SympleOptions:
     vectorizable shape; results, counters, and traffic are bit-identical
     either way, so this is purely a wall-clock switch (and the escape
     hatch if a kernel is ever suspected of disagreeing).
+
+    ``trace`` streams a structured JSONL event trace of every phase,
+    circulant step, dependency hand-off, and kernel batch to the given
+    path (see :mod:`repro.obs`); ``None`` — the default — disables
+    tracing entirely, with no instrumentation overhead.
     """
 
     degree_threshold: int = DEFAULT_DEGREE_THRESHOLD
@@ -94,6 +99,7 @@ class SympleOptions:
     dep_loss_rate: float = 0.0
     dep_loss_seed: int = 0
     use_kernels: bool = True
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.schedule not in ("circulant", "naive"):
@@ -132,11 +138,15 @@ class SympleGraphEngine(BaseEngine):
         partition: Partition,
         options: Optional[SympleOptions] = None,
         cost_model: CostModel = SYMPLE_COST,
+        obs=None,
     ) -> None:
         self.options = options or SympleOptions()
         super().__init__(
-            partition, cost_model, use_kernels=self.options.use_kernels
+            partition, cost_model, use_kernels=self.options.use_kernels,
+            obs=obs,
         )
+        if self.obs is None and self.options.trace is not None:
+            self.attach_observer(self.options.trace)
         if self.options.differentiated:
             self._high_mask = (
                 partition.graph.in_degrees() >= self.options.degree_threshold
@@ -193,7 +203,7 @@ class SympleGraphEngine(BaseEngine):
         share_dep_data: bool,
     ) -> PullResult:
         p = self.num_machines
-        phase = self._phase_begin()
+        phase = self._phase_begin("pull")
         master_of = self.partition.master_of
         dep_store = DepStore(
             self.graph.num_vertices,
@@ -268,6 +278,8 @@ class SympleGraphEngine(BaseEngine):
                 # guarantees correctness under incomplete information).
                 controller.check_crash(phase, s)
             step = self._make_step(phase)
+            if self.obs is not None:
+                self.obs.step_begin(s)
             is_last = s == p - 1
             for m in range(p):
                 j = circulant_partition(m, s, p)
@@ -347,11 +359,15 @@ class SympleGraphEngine(BaseEngine):
                 )
             steps.append(step)
             total_edges += step.total_edges()
+            if self.obs is not None:
+                self.obs.step_end(s, step)
 
         changed, applied = buffer.apply(slot, state)
         record.steps = steps
         self._count_sync(changed, sync_bytes, record)
         self.counters.add_iteration(record)
+        if self.obs is not None:
+            self.obs.phase_end(record)
         self.counters.add_edges(total_edges)
         self.counters.add_vertices(
             int(
@@ -386,6 +402,8 @@ class SympleGraphEngine(BaseEngine):
         left = (m - 1) % self.num_machines
         self.network.send(m, left, "dep", nbytes)
         step.dep_bytes[m] += nbytes
+        if self.obs is not None:
+            self.obs.dep_transfer(m, left, nbytes)
 
     def _circulant_kernel_batch(
         self,
@@ -434,7 +452,9 @@ class SympleGraphEngine(BaseEngine):
         if has_data and carried_name is not None:
             present = dep_store.present[carried_name][run] & ~blind_run
             carried_in = (present, dep_store.data[carried_name][run])
-        batch = kernel(spec, state, local, run, carried_in=carried_in)
+        batch = self._run_kernel(
+            m, kernel, spec, state, local, run, carried_in=carried_in
+        )
         step.high_edges[m] += int(batch.edges.sum())
         step.high_vertices[m] += int(run.size)
         if batch.broke is not None:
@@ -443,7 +463,7 @@ class SympleGraphEngine(BaseEngine):
             dep_store.data[carried_name][run] = batch.carried
             dep_store.present[carried_name][run] = True
 
-        low_batch = kernel(spec, state, local, low)
+        low_batch = self._run_kernel(m, kernel, spec, state, local, low)
         step.low_edges[m] += int(low_batch.edges.sum())
         step.low_vertices[m] += int(low.size)
 

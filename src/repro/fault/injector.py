@@ -67,6 +67,7 @@ class FaultController:
             f for f in plan.messages
             if not (f.kind == "drop" and f.tag == "dep")
         ]
+        self._obs = None  # observability hub, cached at bind time
         self.stats: Dict[str, int] = {
             "crashes": 0,
             "recoveries": 0,
@@ -83,8 +84,11 @@ class FaultController:
         """Install this controller's hooks on an engine.
 
         Called by ``BaseEngine.attach_faults`` and again after
-        ``reset_metrics`` (which replaces the network)."""
+        ``reset_metrics`` (which replaces the network) or
+        ``attach_observer`` (which changes the hub this controller
+        reports crash events to)."""
         engine.network.delivery_hook = self.deliver
+        self._obs = getattr(engine, "obs", None)
 
     # -- crash injection ---------------------------------------------------
 
@@ -103,6 +107,8 @@ class FaultController:
                 continue
             self._pending_crashes.remove(event)
             self.stats["crashes"] += 1
+            if self._obs is not None:
+                self._obs.crash(event.machine, iteration, step)
             raise MachineCrashError(event.machine, iteration, step)
 
     # -- straggler injection -----------------------------------------------

@@ -71,7 +71,7 @@ class RecoveryReport:
         }
 
 
-def _charge_checkpoint(engine, nbytes: int) -> None:
+def _charge_checkpoint(engine, nbytes: int, superstep: int = 0) -> None:
     """Charge a snapshot write: every machine streams its masters' share
     to the durable store (modeled as the machine to its right, so the
     traffic matrices show the ring pattern replicated stores produce)."""
@@ -85,9 +85,12 @@ def _charge_checkpoint(engine, nbytes: int) -> None:
     record = _latest_record(engine)
     if record is not None:
         record.ckpt_bytes += nbytes
+    obs = getattr(engine, "obs", None)
+    if obs is not None:
+        obs.checkpoint(superstep, nbytes, _latest_record_index(engine))
 
 
-def _charge_restore(engine, nbytes: int) -> None:
+def _charge_restore(engine, nbytes: int, superstep: int = 0) -> None:
     """Charge a restore: the snapshot streams back from the store."""
     p = engine.num_machines
     share = nbytes // p if p else nbytes
@@ -99,11 +102,19 @@ def _charge_restore(engine, nbytes: int) -> None:
     record = _latest_record(engine)
     if record is not None:
         record.ckpt_bytes += nbytes
+    obs = getattr(engine, "obs", None)
+    if obs is not None:
+        obs.restore(superstep, nbytes, _latest_record_index(engine))
 
 
 def _latest_record(engine):
     records = engine.counters.iterations
     return records[-1] if records else None
+
+
+def _latest_record_index(engine):
+    records = engine.counters.iterations
+    return len(records) - 1 if records else None
 
 
 def run_recoverable(
@@ -145,7 +156,7 @@ def run_recoverable(
             try:
                 if store.due(superstep):
                     checkpoint = store.save(superstep, s, ctx)
-                    _charge_checkpoint(engine, checkpoint.nbytes)
+                    _charge_checkpoint(engine, checkpoint.nbytes, superstep)
                 cont = program.step(engine, s, ctx)
             except FaultError:
                 report.recoveries += 1
@@ -157,6 +168,7 @@ def run_recoverable(
                 delay = backoff_base * (2.0 ** min(report.recoveries - 1, 8))
                 engine.counters.add_penalty(delay)
                 report.backoff_time += delay
+                crashed_at = superstep
                 restored = store.restore_latest(s)
                 if restored is None:
                     # no durable snapshot: restart from scratch
@@ -170,8 +182,19 @@ def run_recoverable(
                     report.replayed_supersteps += (
                         superstep - checkpoint.superstep
                     )
-                    _charge_restore(engine, checkpoint.nbytes)
+                    _charge_restore(
+                        engine, checkpoint.nbytes, checkpoint.superstep
+                    )
                     superstep = checkpoint.superstep
+                obs = getattr(engine, "obs", None)
+                if obs is not None:
+                    obs.rollback(
+                        recoveries=report.recoveries,
+                        superstep=crashed_at,
+                        restored=superstep,
+                        from_scratch=restored is None,
+                        penalty=delay,
+                    )
                 continue
             superstep += 1
             report.supersteps += 1

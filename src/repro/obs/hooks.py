@@ -1,0 +1,251 @@
+"""Profiling-hook hub: the registration API the runtime reports into.
+
+An :class:`ObsHub` is the single object an engine carries (attached via
+``BaseEngine.attach_observer``, ``make_engine(obs=...)``, or
+``SympleOptions(trace=...)``).  The engines, the kernel fast path, and
+the fault subsystem call its event methods at phase boundaries; the hub
+fans each event out to
+
+* the :class:`~repro.obs.tracer.Tracer` (when one is configured),
+* its live :class:`~repro.obs.metrics.MetricsRegistry`, and
+* any *profiling hooks* registered with :meth:`register` — plain
+  objects exposing ``on_<kind>(event)`` methods (or a catch-all
+  ``on_event(event)``), called synchronously with the event dict.
+
+Overhead contract: engines guard every call site with
+``if self.obs is not None`` — a run without an attached hub pays one
+attribute load and a None check per phase, nothing else (asserted by
+the perf-smoke gate's <2% budget).  Wall-clock spans (``seconds`` on
+phase and kernel-batch events) are measured only while a hub is
+attached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, fill_run_metrics
+from repro.obs.tracer import Tracer
+
+__all__ = ["ObsHub", "step_record_payload"]
+
+
+def step_record_payload(step) -> Dict[str, Any]:
+    """JSON-exact payload of a StepRecord's per-machine arrays."""
+    return {
+        "high_edges": step.high_edges.tolist(),
+        "low_edges": step.low_edges.tolist(),
+        "high_vertices": step.high_vertices.tolist(),
+        "low_vertices": step.low_vertices.tolist(),
+        "update_bytes": step.update_bytes.tolist(),
+        "dep_bytes": step.dep_bytes.tolist(),
+        "slowdown": step.slowdown.tolist(),
+    }
+
+
+class ObsHub:
+    """Observability hub: tracer + live metrics + registered hooks."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hooks: List[Any] = []
+        # current span context, so leaf events (dep transfers, kernel
+        # batches) don't need the phase/step threaded through call sites
+        self._phase: Optional[int] = None
+        self._step: Optional[int] = None
+        self._mode: Optional[str] = None
+        self._phase_t0 = 0.0
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def to_path(cls, path: str, capacity: int = 100_000) -> "ObsHub":
+        """Hub streaming its trace to a JSONL file."""
+        return cls(tracer=Tracer(path=path, capacity=capacity))
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ObsHub":
+        """Accept an ObsHub, a Tracer, or a trace-file path."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Tracer):
+            return cls(tracer=value)
+        if isinstance(value, (str, bytes)):
+            return cls.to_path(value)
+        raise ReproError(
+            f"cannot build an ObsHub from {type(value).__name__}; "
+            "pass an ObsHub, a Tracer, or a trace-file path"
+        )
+
+    # -- hook registration -------------------------------------------------
+
+    def register(self, hook: Any) -> None:
+        """Register a profiling hook (``on_<kind>``/``on_event`` methods)."""
+        if hook not in self._hooks:
+            self._hooks.append(hook)
+
+    def unregister(self, hook: Any) -> None:
+        if hook in self._hooks:
+            self._hooks.remove(hook)
+
+    def _emit(self, kind: str, **data: Any) -> None:
+        if self.tracer is not None:
+            event = self.tracer.emit(kind, **data)
+        else:
+            event = {"kind": kind, **data}
+        for hook in self._hooks:
+            fn = getattr(hook, "on_" + kind, None)
+            if fn is None:
+                fn = getattr(hook, "on_event", None)
+            if fn is not None:
+                fn(event)
+
+    # -- engine phase boundaries -------------------------------------------
+
+    def phase_begin(self, phase: int, mode: str, engine: str,
+                    machines: int) -> None:
+        self._phase = phase
+        self._step = 0
+        self._mode = mode
+        self._phase_t0 = time.perf_counter()
+        self.metrics.counter(
+            "repro_phases_total", "engine phases started",
+            labels=("mode",),
+        ).inc(mode=mode)
+        self._emit("phase_begin", phase=phase, mode=mode, engine=engine,
+                   machines=machines)
+
+    def phase_end(self, record) -> None:
+        self._emit(
+            "phase_end",
+            phase=self._phase,
+            mode=record.mode,
+            steps=len(record.steps),
+            sync_bytes=int(record.sync_bytes),
+            push_bytes=int(record.push_bytes),
+            seconds=time.perf_counter() - self._phase_t0,
+        )
+        self._phase = None
+        self._step = None
+        self._mode = None
+
+    def step_begin(self, step: int) -> None:
+        self._step = step
+        self.metrics.counter(
+            "repro_steps_total", "circulant steps executed"
+        ).inc()
+        self._emit("step_begin", phase=self._phase, step=step)
+
+    def step_end(self, step: int, record) -> None:
+        self._emit("step_end", phase=self._phase, step=step,
+                   **step_record_payload(record))
+
+    def dep_transfer(self, src: int, dst: int, nbytes: int) -> None:
+        self.metrics.counter(
+            "repro_dep_transfers_total", "dependency hand-offs sent"
+        ).inc()
+        self.metrics.counter(
+            "repro_dep_transfer_bytes_total", "dependency hand-off bytes"
+        ).inc(nbytes)
+        self._emit("dep_transfer", phase=self._phase, step=self._step,
+                   src=src, dst=dst, bytes=int(nbytes))
+
+    def kernel_batch(self, machine: int, kernel: str, vertices: int,
+                     edges: int, seconds: float) -> None:
+        self.metrics.counter(
+            "repro_kernel_batches_total", "batched kernel invocations",
+            labels=("kernel",),
+        ).inc(kernel=kernel)
+        self.metrics.histogram(
+            "repro_kernel_batch_seconds",
+            "wall-clock seconds per kernel batch",
+            buckets=(1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0),
+        ).observe(seconds)
+        self._emit("kernel_batch", phase=self._phase, step=self._step,
+                   machine=machine, kernel=kernel, vertices=int(vertices),
+                   edges=int(edges), seconds=seconds)
+
+    def sync_update(self, record_index: int, nbytes: int) -> None:
+        self._emit("sync_update", record=record_index, bytes=int(nbytes))
+
+    def implicit_record(self, machines: int) -> None:
+        self._emit("implicit_record", machines=machines)
+
+    # -- fault-tolerance boundaries ---------------------------------------
+
+    def checkpoint(self, superstep: int, nbytes: int,
+                   record_index: Optional[int]) -> None:
+        self.metrics.counter(
+            "repro_checkpoints_total", "checkpoints written"
+        ).inc()
+        self.metrics.counter(
+            "repro_checkpoint_bytes_total", "checkpoint bytes written"
+        ).inc(nbytes)
+        self._emit("checkpoint", superstep=superstep, bytes=int(nbytes),
+                   record=record_index)
+
+    def restore(self, superstep: int, nbytes: int,
+                record_index: Optional[int]) -> None:
+        self.metrics.counter(
+            "repro_restores_total", "checkpoint restores"
+        ).inc()
+        self._emit("restore", superstep=superstep, bytes=int(nbytes),
+                   record=record_index)
+
+    def crash(self, machine: int, iteration: int, step: int) -> None:
+        self.metrics.counter(
+            "repro_crashes_total", "injected machine crashes"
+        ).inc()
+        self._emit("crash", machine=machine, iteration=iteration,
+                   step=step)
+        # a crash aborts the open phase; close the span context so the
+        # next phase doesn't inherit it
+        self._phase = None
+        self._step = None
+        self._mode = None
+
+    def rollback(self, recoveries: int, superstep: int, restored: int,
+                 from_scratch: bool, penalty: float) -> None:
+        self.metrics.counter(
+            "repro_rollbacks_total", "recovery rollbacks"
+        ).inc()
+        self._emit("rollback", recoveries=recoveries, superstep=superstep,
+                   restored=restored, from_scratch=from_scratch,
+                   penalty=penalty)
+
+    # -- run finalization --------------------------------------------------
+
+    def run_end(self, engine, cost_model=None) -> None:
+        """Close out a run: emit the summary event, fill run metrics.
+
+        Called once by the harness (or manually after driving an engine
+        directly).  ``cost_model`` defaults to the engine's own.
+        """
+        model = cost_model if cost_model is not None else engine.default_cost
+        options = getattr(engine, "options", None)
+        double_buffering = getattr(options, "double_buffering", True)
+        schedule = getattr(options, "schedule", "circulant")
+        fill_run_metrics(
+            self.metrics,
+            engine.counters,
+            model,
+            engine.cost_kind,
+            double_buffering=double_buffering,
+            schedule=schedule,
+        )
+        self._emit(
+            "run_end",
+            engine=engine.cost_kind,
+            machines=engine.num_machines,
+            summary=engine.counters.summary(),
+            double_buffering=bool(double_buffering),
+            schedule=schedule,
+        )
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()

@@ -1,0 +1,363 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+Subsumes the ad-hoc reporting scattered across the runtime — the
+per-tag byte totals of :class:`~repro.runtime.counters.Counters` and
+the component breakdown of
+:meth:`~repro.runtime.cost_model.CostModel.breakdown` — behind one
+registry exportable as JSON (experiment archives) or Prometheus text
+exposition format (scrape endpoints, CI artifacts).
+
+Two usage modes:
+
+* **live** — an :class:`~repro.obs.hooks.ObsHub` owns a registry and
+  bumps counters as hook events fire (phases, steps, dep transfers,
+  kernel batches, checkpoints, rollbacks);
+* **post-hoc** — :func:`fill_run_metrics` prices a finished run's
+  counters through a cost model into the same registry, which is what
+  ``repro metrics`` and the benchmark exporters emit.
+
+Metric and label names follow Prometheus conventions (``repro_`` prefix,
+``_total`` suffix on counters); values are plain Python numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.runtime.counters import COMM_TAGS, Counters
+from repro.runtime.cost_model import CostModel
+
+__all__ = [
+    "Metric",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "fill_run_metrics",
+    "registry_breakdown",
+]
+
+DEFAULT_BUCKETS = (
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+
+def _label_key(label_names: Sequence[str],
+               labels: Dict[str, object]) -> Tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise ReproError(
+            f"expected labels {tuple(label_names)}, got {tuple(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class Metric:
+    """Base class: a named family of samples keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._samples: Dict[Tuple[str, ...], float] = {}
+
+    # -- access ----------------------------------------------------------
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(self.label_names, labels)
+        return self._samples.get(key, 0.0)
+
+    def samples(self) -> List[Dict[str, object]]:
+        return [
+            {"labels": dict(zip(self.label_names, key)), "value": value}
+            for key, value in sorted(self._samples.items())
+        ]
+
+    # -- export ----------------------------------------------------------
+
+    def _prom_lines(self) -> List[str]:
+        lines = []
+        for key, value in sorted(self._samples.items()):
+            lines.append(_prom_sample(self.name, self.label_names, key,
+                                      value))
+        return lines
+
+
+def _prom_label_str(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    body = ",".join(
+        f'{n}="{v}"' for n, v in zip(names, values)
+    )
+    return "{" + body + "}"
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_sample(name: str, names: Sequence[str], values: Sequence[str],
+                 value: float) -> str:
+    return f"{name}{_prom_label_str(names, values)} {_prom_number(value)}"
+
+
+class Counter(Metric):
+    """Monotonically increasing sample per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ReproError("counters only go up")
+        key = _label_key(self.label_names, labels)
+        self._samples[key] = self._samples.get(key, 0.0) + float(amount)
+
+
+class Gauge(Metric):
+    """Point-in-time sample per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        self._samples[key] = self._samples.get(key, 0.0) + float(amount)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram per label set (Prometheus layout)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, labels)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ReproError("histogram buckets must be sorted, non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+        # per label key: (bucket_counts, sum, count)
+        self._hist: Dict[Tuple[str, ...],
+                         Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        counts, total, n = self._hist.get(
+            key, ([0] * len(self.buckets), 0.0, 0)
+        )
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+        self._hist[key] = (counts, total + float(value), n + 1)
+
+    def samples(self) -> List[Dict[str, object]]:
+        out = []
+        for key, (counts, total, n) in sorted(self._hist.items()):
+            out.append(
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "buckets": {
+                        _prom_number(b): c
+                        for b, c in zip(self.buckets, counts)
+                    },
+                    "sum": total,
+                    "count": n,
+                }
+            )
+        return out
+
+    def _prom_lines(self) -> List[str]:
+        lines = []
+        names = self.label_names + ("le",)
+        for key, (counts, total, n) in sorted(self._hist.items()):
+            for bound, count in zip(self.buckets, counts):
+                lines.append(
+                    _prom_sample(self.name + "_bucket", names,
+                                 key + (_prom_number(bound),), count)
+                )
+            lines.append(
+                _prom_sample(self.name + "_bucket", names,
+                             key + ("+Inf",), n)
+            )
+            lines.append(
+                _prom_sample(self.name + "_sum", self.label_names, key,
+                             total)
+            )
+            lines.append(
+                _prom_sample(self.name + "_count", self.label_names, key, n)
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Sequence[str], **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ReproError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            if existing.label_names != tuple(labels):
+                raise ReproError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help, labels, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- export ----------------------------------------------------------
+
+    def export_json(self) -> Dict[str, object]:
+        return {
+            "metrics": [
+                {
+                    "name": metric.name,
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "samples": metric.samples(),
+                }
+                for _, metric in sorted(self._metrics.items())
+            ]
+        }
+
+    def export_json_str(self, indent: int = 2) -> str:
+        return json.dumps(self.export_json(), indent=indent)
+
+    def export_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per family)."""
+        lines: List[str] = []
+        for _, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric._prom_lines())
+        return "\n".join(lines) + "\n"
+
+
+def fill_run_metrics(
+    registry: MetricsRegistry,
+    counters: Counters,
+    cost_model: Optional[CostModel] = None,
+    engine_kind: Optional[str] = None,
+    double_buffering: bool = True,
+    schedule: str = "circulant",
+) -> MetricsRegistry:
+    """Price a finished run's counters into ``registry``.
+
+    Populates the work/traffic totals always, and — when a cost model
+    and engine kind are given — the simulated-time breakdown the paper's
+    Figure 11 reports, plus a per-step critical-path compute histogram.
+    Call once per run: the traffic counters are cumulative.
+    """
+    registry.gauge(
+        "repro_edges_traversed", "neighbors examined by signal UDFs"
+    ).set(counters.edges_traversed)
+    registry.gauge(
+        "repro_vertices_processed", "vertices run through signal UDFs"
+    ).set(counters.vertices_processed)
+    registry.gauge(
+        "repro_iterations", "engine phases recorded"
+    ).set(len(counters.iterations))
+    registry.gauge(
+        "repro_penalty_time",
+        "simulated time charged outside work records (faults, backoff)",
+    ).set(counters.penalty_time)
+    comm_bytes = registry.counter(
+        "repro_comm_bytes_total", "remote bytes by communication tag",
+        labels=("tag",),
+    )
+    comm_msgs = registry.counter(
+        "repro_comm_messages_total",
+        "remote message batches by communication tag", labels=("tag",),
+    )
+    for tag in COMM_TAGS:
+        comm_bytes.inc(counters.bytes_by_tag[tag], tag=tag)
+        comm_msgs.inc(counters.messages_by_tag[tag], tag=tag)
+
+    if cost_model is None or engine_kind is None:
+        return registry
+
+    breakdown = cost_model.breakdown(
+        counters, engine_kind, double_buffering=double_buffering,
+        schedule=schedule,
+    )
+    registry.gauge(
+        "repro_simulated_time_total", "total simulated execution time"
+    ).set(breakdown["total"])
+    component = registry.gauge(
+        "repro_simulated_time_breakdown",
+        "simulated time by cost source", labels=("component",),
+    )
+    for name, value in breakdown.items():
+        if name != "total":
+            component.set(value, component=name)
+    step_compute = registry.histogram(
+        "repro_step_compute_time",
+        "critical-path compute time per recorded step",
+    )
+    for record in counters.iterations:
+        for step in record.steps:
+            compute = cost_model.step_compute_time(step)
+            step_compute.observe(float(np.max(compute, initial=0.0)))
+    return registry
+
+
+def registry_breakdown(registry: MetricsRegistry) -> Dict[str, float]:
+    """Read the cost breakdown back out of an exported registry.
+
+    The inverse view of :func:`fill_run_metrics` — benchmark scripts
+    consume this instead of calling the cost model themselves.
+    """
+    total = registry.get("repro_simulated_time_total")
+    component = registry.get("repro_simulated_time_breakdown")
+    if total is None or component is None:
+        raise ReproError(
+            "registry has no simulated-time breakdown; was "
+            "fill_run_metrics called with a cost model?"
+        )
+    out = {"total": total.value()}
+    for sample in component.samples():
+        out[sample["labels"]["component"]] = sample["value"]
+    return out

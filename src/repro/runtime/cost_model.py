@@ -82,6 +82,15 @@ class CostModel:
             step.high_vertices + step.low_vertices,
         ) * step.slowdown
 
+    def step_compute_time(self, step) -> np.ndarray:
+        """Per-machine compute time for a recorded step.
+
+        Public view of the quantity every iteration-timing function
+        charges (edge + vertex work, straggler slowdown applied) — what
+        the observability layer attributes per (machine, step).
+        """
+        return self._step_compute(step)
+
     def _comm_tail(self, byte_array) -> float:
         """Residual (non-overlapped) transfer time for a traffic class."""
         total_bytes = float(np.sum(byte_array))
@@ -145,13 +154,20 @@ class CostModel:
             update_tail += self._comm_tail(step.update_bytes)
             update_tail += self._comm_tail(step.dep_bytes)
 
-            right = (np.arange(p) + 1) % p  # dependency sender for each m
-            arrive_a = prev_send_a[right] + self.transfer_time(
-                prev_dep_bytes[right] / 2.0
-            ) + np.where(np.isfinite(prev_send_a[right]), self.latency, 0.0)
-            arrive_b = prev_send_b[right] + self.transfer_time(
-                prev_dep_bytes[right] / 2.0
-            ) + np.where(np.isfinite(prev_send_b[right]), self.latency, 0.0)
+            if p == 1:
+                # degenerate circulant: the lone machine is its own
+                # "left neighbor" and the hand-off is never sent, so
+                # nothing ever arrives (no self-latency charge)
+                arrive_a = np.full(p, -np.inf)
+                arrive_b = np.full(p, -np.inf)
+            else:
+                right = (np.arange(p) + 1) % p  # dependency sender per m
+                arrive_a = prev_send_a[right] + self.transfer_time(
+                    prev_dep_bytes[right] / 2.0
+                ) + np.where(np.isfinite(prev_send_a[right]), self.latency, 0.0)
+                arrive_b = prev_send_b[right] + self.transfer_time(
+                    prev_dep_bytes[right] / 2.0
+                ) + np.where(np.isfinite(prev_send_b[right]), self.latency, 0.0)
 
             # Coordination is only charged to machines with work in
             # this step; an empty bucket is skipped for free.

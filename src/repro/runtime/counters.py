@@ -16,6 +16,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.errors import EngineError, ReproError
+
 __all__ = ["StepRecord", "IterationRecord", "Counters", "COMM_TAGS"]
 
 COMM_TAGS = ("update", "dep", "sync", "push", "ckpt")
@@ -99,7 +101,7 @@ class Counters:
 
     def add_bytes(self, tag: str, nbytes: int, messages: int = 1) -> None:
         if tag not in self.bytes_by_tag:
-            raise KeyError(f"unknown communication tag {tag!r}")
+            raise EngineError(f"unknown communication tag {tag!r}")
         self.bytes_by_tag[tag] += int(nbytes)
         self.messages_by_tag[tag] += int(messages)
 
@@ -139,7 +141,17 @@ class Counters:
         return sum(self.bytes_by_tag.values())
 
     def merge(self, other: "Counters") -> None:
-        """Fold another run's counters into this one (multi-phase algos)."""
+        """Fold another run's counters into this one (multi-phase algos).
+
+        Both runs must come from the same cluster size: the per-machine
+        ``StepRecord`` arrays feed the cost model and ``step_timeline``,
+        which index by machine — silently mixing sizes corrupts them.
+        """
+        if other.num_machines != self.num_machines:
+            raise ReproError(
+                "cannot merge counters from different cluster sizes "
+                f"({self.num_machines} vs {other.num_machines} machines)"
+            )
         self.edges_traversed += other.edges_traversed
         self.vertices_processed += other.vertices_processed
         for tag in COMM_TAGS:
@@ -159,6 +171,8 @@ class Counters:
             "ckpt_bytes": self.ckpt_bytes,
             "total_bytes": self.total_bytes,
             "iterations": len(self.iterations),
+            "messages_by_tag": dict(self.messages_by_tag),
+            "penalty_time": self.penalty_time,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

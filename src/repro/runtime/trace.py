@@ -9,10 +9,11 @@ waits occur and what double buffering hides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro.errors import EngineError
 from repro.runtime.cost_model import CostModel
 from repro.runtime.counters import IterationRecord
 
@@ -20,8 +21,15 @@ __all__ = ["schedule_matrix", "render_schedule", "StepTimeline", "step_timeline"
 
 
 def schedule_matrix(num_machines: int) -> np.ndarray:
-    """Matrix ``M[machine, step] = partition processed`` (Figure 7b)."""
-    p = num_machines
+    """Matrix ``M[machine, step] = partition processed`` (Figure 7b).
+
+    ``num_machines=1`` degenerates to the single-cell matrix ``[[0]]``:
+    one machine, one step, processing its own partition with no
+    dependency hand-off.
+    """
+    p = int(num_machines)
+    if p < 1:
+        raise EngineError("a circulant schedule needs at least one machine")
     matrix = np.zeros((p, p), dtype=np.int64)
     for m in range(p):
         for s in range(p):
@@ -32,37 +40,67 @@ def schedule_matrix(num_machines: int) -> np.ndarray:
 def render_schedule(num_machines: int) -> str:
     """ASCII rendering of the circulant schedule."""
     matrix = schedule_matrix(num_machines)
-    p = num_machines
+    p = int(num_machines)
     width = max(3, len(str(p - 1)) + 1)
     header = "      " + "".join(f"s{s}".rjust(width) for s in range(p))
     lines = [header]
     for m in range(p):
         cells = "".join(f"P{matrix[m, s]}".rjust(width) for s in range(p))
         lines.append(f"M{m}".ljust(6) + cells)
-    lines.append(
-        "each column is a permutation: machines process disjoint "
-        "partitions per step"
-    )
+    if p == 1:
+        lines.append("single machine: one step, no dependency hand-off")
+    else:
+        lines.append(
+            "each column is a permutation: machines process disjoint "
+            "partitions per step"
+        )
     return "\n".join(lines)
 
 
 @dataclass
 class StepTimeline:
-    """Per-machine start/finish instants of each circulant step."""
+    """Per-machine start/finish instants of each circulant step.
+
+    ``dep_wait[s, m]`` is the time machine ``m`` sat blocked at step
+    ``s`` waiting for the incoming dependency hand-off (after its
+    low-degree overlap ran out) — the quantity double buffering attacks.
+    Timelines built before this field existed default it to zeros.
+    """
 
     start: np.ndarray  # (steps, machines)
     finish: np.ndarray  # (steps, machines)
+    dep_wait: Optional[np.ndarray] = None  # (steps, machines)
+
+    def __post_init__(self) -> None:
+        if self.dep_wait is None:
+            self.dep_wait = np.zeros_like(np.asarray(self.start, dtype=np.float64))
+
+    @property
+    def num_steps(self) -> int:
+        return int(self.start.shape[0]) if self.start.ndim >= 1 else 0
+
+    @property
+    def num_machines(self) -> int:
+        return int(self.start.shape[1]) if self.start.ndim >= 2 else 0
 
     @property
     def makespan(self) -> float:
-        return float(self.finish[-1].max()) if self.finish.size else 0.0
+        if self.finish.size == 0:
+            return 0.0
+        return float(self.finish[-1].max())
 
     def wait_time(self) -> np.ndarray:
         """Idle time per machine: gaps between consecutive steps."""
-        if self.start.shape[0] <= 1:
-            return np.zeros(self.start.shape[1])
+        if self.start.ndim < 2 or self.start.shape[0] <= 1:
+            return np.zeros(self.num_machines)
         gaps = self.start[1:] - self.finish[:-1]
         return gaps.clip(min=0.0).sum(axis=0)
+
+    def dep_wait_time(self) -> np.ndarray:
+        """Total exposed dependency wait per machine."""
+        if self.dep_wait is None or self.dep_wait.size == 0:
+            return np.zeros(self.num_machines)
+        return self.dep_wait.sum(axis=0)
 
 
 def step_timeline(
@@ -72,7 +110,8 @@ def step_timeline(
 ) -> StepTimeline:
     """Replay the cost model's recursion, keeping the full timeline.
 
-    Mirrors :meth:`CostModel.symple_iteration_time` step by step; the
+    Mirrors :meth:`CostModel.symple_iteration_time` step by step
+    (straggler slowdowns included, single-machine hand-off elided); the
     iteration-wide terms (update tail, barrier, sync) are not part of
     the per-step timeline.
     """
@@ -87,17 +126,34 @@ def step_timeline(
     prev_dep = np.zeros(p)
     starts: List[np.ndarray] = []
     finishes: List[np.ndarray] = []
+    waits: List[np.ndarray] = []
 
     for step in steps:
-        c_high = cost_model.compute_time(step.high_edges, step.high_vertices)
-        c_low = cost_model.compute_time(step.low_edges, step.low_vertices)
-        right = (np.arange(p) + 1) % p
-        arrive_a = prev_send_a[right] + cost_model.transfer_time(
-            prev_dep[right] / 2.0
-        ) + np.where(np.isfinite(prev_send_a[right]), cost_model.latency, 0.0)
-        arrive_b = prev_send_b[right] + cost_model.transfer_time(
-            prev_dep[right] / 2.0
-        ) + np.where(np.isfinite(prev_send_b[right]), cost_model.latency, 0.0)
+        c_high = (
+            cost_model.compute_time(step.high_edges, step.high_vertices)
+            * step.slowdown
+        )
+        c_low = (
+            cost_model.compute_time(step.low_edges, step.low_vertices)
+            * step.slowdown
+        )
+        if p == 1:
+            # degenerate circulant: the lone machine is its own "left
+            # neighbor" and no hand-off ever ships, so nothing arrives
+            arrive_a = np.full(p, -np.inf)
+            arrive_b = np.full(p, -np.inf)
+        else:
+            right = (np.arange(p) + 1) % p
+            arrive_a = prev_send_a[right] + cost_model.transfer_time(
+                prev_dep[right] / 2.0
+            ) + np.where(
+                np.isfinite(prev_send_a[right]), cost_model.latency, 0.0
+            )
+            arrive_b = prev_send_b[right] + cost_model.transfer_time(
+                prev_dep[right] / 2.0
+            ) + np.where(
+                np.isfinite(prev_send_b[right]), cost_model.latency, 0.0
+            )
 
         has_work = (c_high + c_low) > 0
         t0 = finish + np.where(has_work, cost_model.step_overhead, 0.0)
@@ -108,14 +164,17 @@ def step_timeline(
             start_b = np.maximum(t_a, arrive_b)
             t_b = start_b + c_high / 2.0
             send_a, send_b = t_a, t_b
+            wait = (start_a - t_low) + (start_b - t_a)
         else:
             start_a = np.maximum(t_low, arrive_b)
             t_b = start_a + c_high
             send_a = send_b = t_b
+            wait = start_a - t_low
         starts.append(t0)
         finishes.append(t_b)
+        waits.append(wait)
         finish = t_b
         prev_send_a, prev_send_b = send_a, send_b
         prev_dep = np.asarray(step.dep_bytes, dtype=np.float64)
 
-    return StepTimeline(np.stack(starts), np.stack(finishes))
+    return StepTimeline(np.stack(starts), np.stack(finishes), np.stack(waits))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import EngineError
+from repro.errors import EngineError, ReproError
 from repro.runtime import Counters, IterationRecord, SimulatedNetwork, StepRecord
 
 
@@ -41,7 +41,7 @@ class TestCounters:
         assert c.total_bytes == 110
 
     def test_unknown_tag_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(EngineError):
             Counters(2).add_bytes("bogus", 1)
 
     def test_merge(self):
@@ -55,6 +55,11 @@ class TestCounters:
         assert a.sync_bytes == 12
         assert len(a.iterations) == 1
 
+    def test_merge_rejects_mismatched_cluster_size(self):
+        a, b = Counters(2), Counters(4)
+        with pytest.raises(ReproError):
+            a.merge(b)
+
     def test_summary_keys(self):
         summary = Counters(1).summary()
         for key in (
@@ -64,8 +69,18 @@ class TestCounters:
             "sync_bytes",
             "total_bytes",
             "iterations",
+            "messages_by_tag",
+            "penalty_time",
         ):
             assert key in summary
+
+    def test_summary_reports_messages_and_penalty(self):
+        c = Counters(2)
+        c.add_bytes("dep", 10, messages=3)
+        c.add_penalty(42.5)
+        summary = c.summary()
+        assert summary["messages_by_tag"]["dep"] == 3
+        assert summary["penalty_time"] == 42.5
 
 
 class TestNetwork:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.algorithms import mis
 from repro.engine import SympleGraphEngine, SympleOptions
+from repro.errors import EngineError
 from repro.graph import rmat, to_undirected
 from repro.partition import OutgoingEdgeCut
 from repro.runtime import CostModel
@@ -29,6 +30,18 @@ class TestScheduleMatrix:
         matrix = schedule_matrix(p)
         for m in range(p):
             assert sorted(matrix[m, :]) == list(range(p))
+
+    def test_single_machine_degenerates(self):
+        assert np.array_equal(schedule_matrix(1), np.array([[0]]))
+
+    @pytest.mark.parametrize("p", [0, -3])
+    def test_rejects_nonpositive_machine_count(self, p):
+        with pytest.raises(EngineError):
+            schedule_matrix(p)
+
+    def test_render_single_machine(self):
+        text = render_schedule(1)
+        assert "no dependency hand-off" in text
 
     def test_last_step_is_local(self):
         """At the final step every machine processes its own partition
@@ -91,6 +104,50 @@ class TestStepTimeline:
     def test_wait_time_nonnegative(self):
         tl = step_timeline(make_record(p=4), CostModel(latency=1000.0))
         assert np.all(tl.wait_time() >= 0)
+
+    def test_empty_timeline_object(self):
+        """A bare StepTimeline with no steps must not crash anywhere."""
+        tl = StepTimeline(np.zeros((0, 0)), np.zeros((0, 0)))
+        assert tl.makespan == 0.0
+        assert tl.num_steps == 0
+        assert tl.num_machines == 0
+        assert tl.wait_time().shape == (0,)
+        assert tl.dep_wait_time().shape == (0,)
+
+    def test_dep_wait_defaults_to_zeros(self):
+        tl = StepTimeline(np.zeros((3, 2)), np.ones((3, 2)))
+        assert tl.dep_wait.shape == (3, 2)
+        assert np.all(tl.dep_wait == 0.0)
+
+    def test_single_machine_never_waits(self):
+        """p=1: no hand-off exists, so no dependency wait ever shows."""
+        tl = step_timeline(make_record(p=1, steps=1),
+                           CostModel(latency=1000.0))
+        assert tl.num_machines == 1
+        assert np.all(tl.dep_wait == 0.0)
+        assert tl.makespan > 0.0
+
+    def test_slowdown_stretches_compute(self):
+        cm = CostModel()
+        rec = make_record(p=4)
+        slowed = make_record(p=4)
+        for step in slowed.steps:
+            step.slowdown[0] = 3.0
+        base = step_timeline(rec, cm)
+        slow = step_timeline(slowed, cm)
+        assert slow.finish[0, 0] > base.finish[0, 0]
+        # and the timeline agrees with the cost model, which also prices
+        # the straggler
+        assert (cm.symple_iteration_time(slowed)
+                > cm.symple_iteration_time(rec))
+
+    def test_dep_wait_exposed_under_latency(self):
+        """High latency without double buffering exposes dependency
+        waits; dep_wait must record them."""
+        cm = CostModel(latency=5000.0)
+        rec = make_record(p=4, edges=10, dep=100)
+        tl = step_timeline(rec, cm, double_buffering=False)
+        assert tl.dep_wait_time().sum() > 0.0
 
     def test_timeline_from_real_engine_run(self):
         graph = to_undirected(rmat(scale=8, edge_factor=8, seed=3))
