@@ -12,7 +12,8 @@ import os
 from functools import lru_cache
 from typing import Optional, Tuple
 
-from repro.bench import RunResult, dataset, run_algorithm
+from repro.api import RunConfig, Session
+from repro.bench import RunResult, dataset
 from repro.engine import SympleOptions
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -45,17 +46,18 @@ def cached_run(
             double_buffering=double_buffering,
             schedule=schedule,
         )
-    return run_algorithm(
-        engine,
-        dataset(dataset_name),
-        algorithm,
-        num_machines=num_machines,
+    config = RunConfig(
+        engine=engine,
+        algorithm=algorithm,
+        machines=num_machines,
         seed=seed,
         options=options,
         bfs_roots=BFS_ROOTS,
         kcore_k=kcore_k,
         kmeans_rounds=KMEANS_ROUNDS,
     )
+    with Session(dataset(dataset_name), config) as session:
+        return session.run()
 
 
 def options_key(

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from _shared import emit
-from repro.bench import dataset, format_table, run_algorithm
+from repro.bench import dataset, format_table
 from repro.engine import DGaloisEngine, SympleGraphEngine, SympleOptions
 from repro.partition import (
     CartesianVertexCut,

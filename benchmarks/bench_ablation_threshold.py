@@ -16,7 +16,8 @@ from _shared import cached_run, emit
 from repro.bench import format_table, geomean
 from repro.engine.symple import DEFAULT_DEGREE_THRESHOLD
 from repro.engine import SympleOptions
-from repro.bench import dataset, run_algorithm
+from repro.api import RunConfig, Session
+from repro.bench import dataset
 
 THRESHOLDS = (2, 4, 8, 16, 32, 64)
 ALGOS = ("mis", "kcore")
@@ -24,18 +25,15 @@ DATASET = "s28"
 
 
 def build_sweep():
-    g = dataset(DATASET)
+    base = RunConfig(engine="symple", machines=16, kcore_k=2, seed=1)
     times = {}
-    for th in THRESHOLDS:
-        options = SympleOptions(degree_threshold=th)
-        per_algo = []
-        for algo in ALGOS:
-            r = run_algorithm(
-                "symple", g, algo, num_machines=16, options=options,
-                kcore_k=2, seed=1,
-            )
-            per_algo.append(r.simulated_time)
-        times[th] = per_algo
+    with Session(dataset(DATASET), base) as session:
+        for th in THRESHOLDS:
+            options = SympleOptions(degree_threshold=th)
+            times[th] = [
+                session.run(algorithm=algo, options=options).simulated_time
+                for algo in ALGOS
+            ]
     return times
 
 

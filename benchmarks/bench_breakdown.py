@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from _shared import cached_run, emit, export_metrics, options_key
-from repro.bench import dataset, format_table, run_algorithm
+from repro.bench import dataset, format_table
 from repro.engine import GeminiEngine, SympleGraphEngine, SympleOptions
 from repro.obs import MetricsRegistry, fill_run_metrics, registry_breakdown
 from repro.partition import OutgoingEdgeCut

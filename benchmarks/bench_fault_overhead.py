@@ -22,7 +22,8 @@ import sys
 from typing import List, Optional
 
 from _shared import emit
-from repro.bench import dataset, format_table, run_algorithm
+from repro.api import Checkpointing, RunConfig, Session
+from repro.bench import dataset, format_table
 from repro.fault import CrashFault, FaultPlan
 
 FULL = {
@@ -41,17 +42,18 @@ SMOKE = {
 
 def _run(algorithm: str, config: dict, plan: Optional[FaultPlan],
          interval: int):
-    return run_algorithm(
-        "symple",
-        dataset(config["dataset"]),
-        algorithm,
-        num_machines=8,
+    run_config = RunConfig(
+        engine="symple",
+        algorithm=algorithm,
+        machines=8,
         seed=1,
         bfs_roots=1,
         kcore_k=config["kcore_k"],
-        fault_plan=plan,
-        checkpoint_interval=interval,
+        faults=plan,
+        checkpointing=Checkpointing(interval=interval),
     )
+    with Session(dataset(config["dataset"]), run_config) as session:
+        return session.run()
 
 
 def build_sweep(config: dict):

@@ -5,12 +5,16 @@ accounting and a calibrated timing model.
 
 Quickstart::
 
-    from repro import rmat, make_engine, bfs
+    from repro import Session, RunConfig, rmat
 
     graph = rmat(scale=12, edge_factor=16, seed=7)
-    engine = make_engine("symple", graph, num_machines=16)
-    result = bfs(engine, root=0)
-    print(result.reached, engine.counters.summary())
+    with Session(graph) as session:
+        result = session.run(RunConfig(engine="symple", algorithm="bfs",
+                                       machines=16))
+    print(result.simulated_time, result.digest())
+
+For driving an engine by hand (custom algorithms, single phases),
+``make_engine`` builds one directly.
 """
 
 from repro.algorithms import (
@@ -26,6 +30,7 @@ from repro.algorithms import (
     scc,
     sssp,
 )
+from repro.api import Checkpointing, RunConfig, Session
 from repro.analysis import (
     AnalyzedSignal,
     analyze_signal,
@@ -41,6 +46,7 @@ from repro.engine import (
     SympleOptions,
     make_engine,
 )
+from repro.bench.harness import RunResult, run_algorithm
 from repro.errors import (
     AnalysisError,
     ConvergenceError,
@@ -54,6 +60,13 @@ from repro.errors import (
     PartitionError,
     ReproError,
     UnsupportedAlgorithmError,
+)
+from repro.exec import (
+    EXECUTOR_KINDS,
+    Executor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
 )
 from repro.fault import (
     CheckpointStore,
@@ -111,6 +124,18 @@ __all__ = [
     "HashVertexCut",
     "HybridCut",
     "CartesianVertexCut",
+    # entry point
+    "Session",
+    "RunConfig",
+    "Checkpointing",
+    "RunResult",
+    "run_algorithm",
+    # executors
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
     # engines
     "make_engine",
     "GeminiEngine",

@@ -1,0 +1,288 @@
+"""The supported entry point: :class:`RunConfig` + :class:`Session`.
+
+A :class:`RunConfig` is a frozen, serializable description of one
+experiment — engine, algorithm, cluster size, seed, engine options,
+fault plan, checkpointing policy, observability sink, and executor
+backend.  A :class:`Session` binds a graph, caches the expensive
+per-(strategy, machines) partitions and per-(backend, workers)
+executors across runs, and executes configs under the paper's
+measurement protocol:
+
+    from repro import Session, RunConfig, rmat
+
+    graph = rmat(scale=12, edge_factor=16, seed=7)
+    with Session(graph) as session:
+        result = session.run(RunConfig(engine="symple", algorithm="bfs"))
+        print(result.simulated_time, result.digest())
+
+``session.run(config, machines=32)`` applies keyword overrides via
+:func:`dataclasses.replace`; ``run_many`` executes a sequence of
+configs against the same cached artifacts.  The legacy free functions
+(:func:`repro.bench.harness.run_algorithm`, extended positional
+:func:`repro.engine.make_engine`) remain as thin deprecated wrappers
+around this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.engine import SympleOptions, make_engine
+from repro.errors import EngineError, UnsupportedAlgorithmError
+from repro.exec import EXECUTOR_KINDS, Executor, make_executor
+from repro.fault import FaultPlan
+from repro.graph.csr import CSRGraph
+from repro.partition import CartesianVertexCut, OutgoingEdgeCut, Partition
+from repro.runtime.cost_model import CostModel
+
+__all__ = ["Checkpointing", "RunConfig", "Session"]
+
+_ENGINE_KINDS = ("gemini", "symple", "dgalois", "single")
+_ALGORITHMS = ("bfs", "kcore", "mis", "kmeans", "sampling")
+_RESUMABLE = ("bfs", "kcore", "mis")
+
+
+@dataclass(frozen=True)
+class Checkpointing:
+    """Checkpoint policy for recoverable runs.
+
+    ``interval`` is the superstep period (0 disables checkpointing);
+    ``retention`` bounds how many checkpoints the store keeps.
+    """
+
+    interval: int = 0
+    retention: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise EngineError(
+                f"checkpoint interval must be >= 0, got {self.interval}"
+            )
+        if self.retention < 1:
+            raise EngineError(
+                f"checkpoint retention must be >= 1, got {self.retention}"
+            )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen description of one experiment run.
+
+    Everything the old ``run_algorithm`` keyword pile expressed, as one
+    value that can be stored, compared, replaced field-wise
+    (:func:`dataclasses.replace`), and round-tripped through
+    :meth:`to_dict`/:meth:`from_dict` (minus the two live objects,
+    ``obs`` and ``cost_model``, which are attachments rather than
+    configuration).
+    """
+
+    engine: str = "symple"
+    algorithm: str = "bfs"
+    machines: int = 16
+    seed: int = 0
+    options: Optional[SympleOptions] = None
+    faults: Optional[FaultPlan] = None
+    checkpointing: Checkpointing = field(default_factory=Checkpointing)
+    obs: Any = None
+    executor: Any = "serial"
+    workers: Optional[int] = None
+    cost_model: Optional[CostModel] = None
+    bfs_roots: int = 3
+    kcore_k: int = 8
+    kmeans_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINE_KINDS:
+            raise EngineError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {_ENGINE_KINDS}"
+            )
+        if self.algorithm not in _ALGORITHMS:
+            raise EngineError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"expected one of {_ALGORITHMS}"
+            )
+        if self.machines < 1:
+            raise EngineError(
+                f"machines must be >= 1, got {self.machines}"
+            )
+        if self.options is not None and self.engine != "symple":
+            raise EngineError(
+                "options= is a SympleGraph knob; the "
+                f"{self.engine!r} engine does not accept it"
+            )
+        if not isinstance(self.executor, Executor) and (
+            self.executor not in EXECUTOR_KINDS
+        ):
+            raise EngineError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{EXECUTOR_KINDS} or an Executor instance"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise EngineError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.faulted and self.algorithm not in _RESUMABLE:
+            raise UnsupportedAlgorithmError(
+                f"{self.algorithm} is not a resumable program; fault "
+                "injection and checkpointing support bfs, kcore, and mis"
+            )
+
+    @property
+    def faulted(self) -> bool:
+        """Whether this run goes through the recoverable driver."""
+        return (
+            self.faults is not None and not self.faults.empty
+        ) or self.checkpointing.interval > 0
+
+    def replace(self, **overrides: Any) -> "RunConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form of the *configuration* fields.
+
+        ``obs`` and ``cost_model`` are live attachments and are not
+        serialized; an executor instance serializes as its kind.
+        """
+        executor = self.executor
+        if isinstance(executor, Executor):
+            executor = executor.kind
+        return {
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "machines": self.machines,
+            "seed": self.seed,
+            "options": (
+                None
+                if self.options is None
+                else dataclasses.asdict(self.options)
+            ),
+            "faults": (
+                None if self.faults is None else self.faults.to_dict()
+            ),
+            "checkpointing": {
+                "interval": self.checkpointing.interval,
+                "retention": self.checkpointing.retention,
+            },
+            "executor": executor,
+            "workers": self.workers,
+            "bfs_roots": self.bfs_roots,
+            "kcore_k": self.kcore_k,
+            "kmeans_rounds": self.kmeans_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunConfig":
+        payload = dict(payload)
+        options = payload.get("options")
+        if options is not None:
+            payload["options"] = SympleOptions(**options)
+        faults = payload.get("faults")
+        if faults is not None:
+            payload["faults"] = FaultPlan.from_dict(faults)
+        ckpt = payload.get("checkpointing")
+        if ckpt is not None:
+            payload["checkpointing"] = Checkpointing(**ckpt)
+        return cls(**payload)
+
+
+class Session:
+    """Executes :class:`RunConfig` runs against one bound graph.
+
+    Partitions (per strategy and machine count) and executors (per
+    backend and worker count) are built once and reused across runs —
+    the process backend in particular publishes the CSR topology to
+    shared memory only when the partition it is bound to changes.
+    """
+
+    def __init__(self, graph: CSRGraph,
+                 config: Optional[RunConfig] = None) -> None:
+        self.graph = graph
+        self.config = config if config is not None else RunConfig()
+        self._partitions: Dict[Tuple[str, int], Partition] = {}
+        self._executors: Dict[Tuple[str, Optional[int]], Executor] = {}
+        self._closed = False
+
+    # -- cached artifacts -------------------------------------------------
+
+    def _partition(self, config: RunConfig) -> Optional[Partition]:
+        if config.engine == "single":
+            return None
+        strategy = "vertexcut" if config.engine == "dgalois" else "edgecut"
+        key = (strategy, config.machines)
+        part = self._partitions.get(key)
+        if part is None:
+            cut = (
+                CartesianVertexCut()
+                if strategy == "vertexcut"
+                else OutgoingEdgeCut()
+            )
+            part = cut.partition(self.graph, config.machines)
+            self._partitions[key] = part
+        return part
+
+    def _executor(self, config: RunConfig) -> Executor:
+        if isinstance(config.executor, Executor):
+            # caller-owned: used as-is, never closed by the session
+            return make_executor(config.executor, workers=config.workers)
+        key = (config.executor, config.workers)
+        ex = self._executors.get(key)
+        if ex is None:
+            ex = make_executor(config.executor, workers=config.workers)
+            self._executors[key] = ex
+        return ex
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, config: Optional[RunConfig] = None,
+            **overrides: Any):
+        """Execute one run; returns a
+        :class:`~repro.bench.harness.RunResult`.
+
+        ``config`` defaults to the session's config; keyword overrides
+        are applied on top with :func:`dataclasses.replace`.
+        """
+        if self._closed:
+            raise EngineError("session is closed")
+        config = config if config is not None else self.config
+        if overrides:
+            config = config.replace(**overrides)
+        return self._execute(config)
+
+    def run_many(self, configs: Iterable[RunConfig]) -> List[Any]:
+        """Execute several configs against the same cached artifacts."""
+        return [self.run(config) for config in configs]
+
+    def _execute(self, config: RunConfig):
+        # imported here: harness imports this module for the legacy
+        # wrapper, so the dependency must stay one-way at import time
+        from repro.bench.harness import _run_session_config
+
+        target = self._partition(config)
+        engine = make_engine(
+            config.engine,
+            self.graph if target is None else target,
+            config.machines,
+            options=config.options,
+            obs=config.obs,
+            executor=self._executor(config),
+        )
+        return _run_session_config(engine, self.graph, config)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release session-owned executors (shared memory, pools)."""
+        for ex in self._executors.values():
+            ex.close()
+        self._executors.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

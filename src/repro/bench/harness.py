@@ -5,10 +5,17 @@ measurement protocol and returns every metric the evaluation tables
 report: simulated execution time, edges traversed, and the per-tag
 communication breakdown.  BFS follows the paper's multi-root protocol
 (random non-isolated roots, averaged).
+
+The supported entry point is :class:`repro.Session` with a
+:class:`repro.RunConfig`; :func:`run_algorithm` remains as a thin
+deprecated wrapper over it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -21,9 +28,8 @@ from repro.algorithms import (
     kmeans,
     sample_neighbors,
 )
-from repro.engine import SympleOptions, make_engine
+from repro.engine import SympleOptions
 from repro.engine.base import BaseEngine
-from repro.errors import UnsupportedAlgorithmError
 from repro.fault import FaultPlan, run_program, run_recoverable
 from repro.graph.csr import CSRGraph
 from repro.runtime.cost_model import CostModel
@@ -74,6 +80,19 @@ class RunResult:
     def from_dict(cls, payload: Dict) -> "RunResult":
         return cls(**payload)
 
+    def digest(self) -> str:
+        """Canonical sha256 over every metric this result carries.
+
+        Two runs digest identically iff their engine/algorithm config
+        and every counter, byte tally, simulated time, and extra metric
+        agree exactly — the cross-executor equivalence check the CI
+        perf-smoke gate diffs.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 def _bfs_roots(graph: CSRGraph, num_roots: int, seed: int) -> np.ndarray:
     """Random non-isolated roots (the paper uses 64 of them)."""
@@ -101,56 +120,17 @@ def _merge_report(extra: Dict[str, float], report) -> None:
         extra[name] = extra.get(name, 0) + value
 
 
-def run_algorithm(
-    engine_kind: str,
-    graph: CSRGraph,
-    algorithm: str,
-    num_machines: int = 16,
-    seed: int = 0,
-    options: Optional[SympleOptions] = None,
-    cost_model: Optional[CostModel] = None,
-    bfs_roots: int = 3,
-    kcore_k: int = 8,
-    kmeans_rounds: int = 2,
-    fault_plan: Optional[FaultPlan] = None,
-    checkpoint_interval: int = 0,
-    retention: int = 2,
-    obs=None,
-) -> RunResult:
-    """Execute one experiment and collect its metrics.
+def _run_session_config(engine: BaseEngine, graph: CSRGraph, config):
+    """Drive one :class:`repro.RunConfig` on a prepared engine.
 
-    BFS accumulates counters over ``bfs_roots`` random roots and
-    reports the per-root average simulated time, mirroring the paper's
-    averaging protocol at reduced repetition count.
-
-    ``fault_plan``/``checkpoint_interval`` run the algorithm under
-    :func:`repro.fault.run_recoverable`: faults are injected, the state
-    is checkpointed every ``checkpoint_interval`` supersteps, and the
-    recovery metrics land in ``extra`` under ``fault_*`` keys.  Only the
-    program-ported algorithms (bfs, kcore, mis) support this.
-
-    ``obs`` attaches an observability hub (or tracer, or trace-file
-    path — see :mod:`repro.obs`) to the engine; the harness finalizes
-    it with a ``run_end`` summary event and the run's metrics before
-    returning.
+    The measurement core shared by :meth:`repro.Session.run` and the
+    legacy :func:`run_algorithm` wrapper: multi-root BFS averaging,
+    the recoverable driver when faults/checkpointing are configured,
+    per-algorithm extra metrics, and the ``run_end`` obs event.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-        )
-    faulted = (
-        fault_plan is not None and not fault_plan.empty
-    ) or checkpoint_interval > 0
-    if faulted and algorithm in ("kmeans", "sampling"):
-        raise UnsupportedAlgorithmError(
-            f"{algorithm} is not a resumable program; fault injection "
-            "and checkpointing support bfs, kcore, and mis"
-        )
-
-    engine = make_engine(
-        engine_kind, graph, num_machines, options=options, obs=obs
-    )
     extra: Dict[str, float] = {}
+    faulted = config.faulted
+    cost_model = config.cost_model
 
     def drive(program):
         if not faulted:
@@ -158,15 +138,16 @@ def run_algorithm(
         result, report = run_recoverable(
             program,
             engine,
-            plan=fault_plan,
-            checkpoint_interval=checkpoint_interval,
-            retention=retention,
+            plan=config.faults,
+            checkpoint_interval=config.checkpointing.interval,
+            retention=config.checkpointing.retention,
         )
         _merge_report(extra, report)
         return result
 
+    algorithm = config.algorithm
     if algorithm == "bfs":
-        roots = _bfs_roots(graph, bfs_roots, seed)
+        roots = _bfs_roots(graph, config.bfs_roots, config.seed)
         reached = 0
         for root in roots:
             result = drive(BFSProgram(int(root)))
@@ -177,24 +158,153 @@ def run_algorithm(
             engine.obs.run_end(engine, cost_model)
         return _collect(engine, algorithm, time, extra, scale=1.0 / len(roots))
     if algorithm == "kcore":
-        result = drive(KCoreProgram(kcore_k))
+        result = drive(KCoreProgram(config.kcore_k))
         extra["core_size"] = result.size
         extra["rounds"] = result.rounds
     elif algorithm == "mis":
-        result = drive(MISProgram(seed=seed))
+        result = drive(MISProgram(seed=config.seed))
         extra["mis_size"] = result.size
         extra["rounds"] = result.rounds
     elif algorithm == "kmeans":
-        result = kmeans(engine, rounds=kmeans_rounds, seed=seed)
+        result = kmeans(
+            engine, rounds=config.kmeans_rounds, seed=config.seed
+        )
         extra["assigned"] = result.assigned_count
     elif algorithm == "sampling":
-        result = sample_neighbors(engine, seed=seed)
+        result = sample_neighbors(engine, seed=config.seed)
         extra["sampled"] = result.sampled_count
 
     time = engine.execution_time(cost_model)
     if engine.obs is not None:
         engine.obs.run_end(engine, cost_model)
     return _collect(engine, algorithm, time, extra)
+
+
+# keyword arguments whose use marks a caller for the Session migration
+_LEGACY_KWARGS = (
+    "options",
+    "cost_model",
+    "fault_plan",
+    "checkpoint_interval",
+    "retention",
+    "obs",
+)
+
+
+def run_algorithm(
+    engine_kind: str,
+    graph: CSRGraph,
+    algorithm: str,
+    num_machines: int = 16,
+    seed: int = 0,
+    *legacy,
+    options: Optional[SympleOptions] = None,
+    cost_model: Optional[CostModel] = None,
+    bfs_roots: int = 3,
+    kcore_k: int = 8,
+    kmeans_rounds: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_interval: int = 0,
+    retention: int = 2,
+    obs=None,
+    executor=None,
+    workers: Optional[int] = None,
+) -> RunResult:
+    """Deprecated thin wrapper over :class:`repro.Session`.
+
+    Kept so existing call sites run unchanged, but any use of the
+    legacy keyword pile (``options``, ``cost_model``, ``fault_plan``,
+    ``checkpoint_interval``, ``retention``, ``obs``) or positional
+    arguments beyond ``seed`` raises a :class:`DeprecationWarning`
+    pointing at :class:`repro.RunConfig`.  The simple positional core —
+    engine kind, graph, algorithm, machines, seed — stays silent, as do
+    the per-algorithm conveniences (``bfs_roots``, ``kcore_k``,
+    ``kmeans_rounds``) and the executor selection.
+    """
+    from repro.api import Checkpointing, RunConfig, Session
+
+    if algorithm not in ALGORITHMS:
+        # the historical contract of this wrapper (RunConfig raises
+        # EngineError for the same misuse)
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    legacy_used = [
+        name
+        for name, value, default in (
+            ("options", options, None),
+            ("cost_model", cost_model, None),
+            ("fault_plan", fault_plan, None),
+            ("checkpoint_interval", checkpoint_interval, 0),
+            ("retention", retention, 2),
+            ("obs", obs, None),
+        )
+        if value != default
+    ]
+    if legacy or legacy_used:
+        detail = (
+            f"keyword arguments {legacy_used} are"
+            if legacy_used
+            else "positional arguments beyond seed are"
+        )
+        warnings.warn(
+            f"run_algorithm's legacy {detail} deprecated; build a "
+            "repro.RunConfig and run it through repro.Session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if legacy:
+        # old order: options, cost_model, bfs_roots, kcore_k,
+        # kmeans_rounds, fault_plan, checkpoint_interval, retention, obs
+        names = (
+            "options",
+            "cost_model",
+            "bfs_roots",
+            "kcore_k",
+            "kmeans_rounds",
+            "fault_plan",
+            "checkpoint_interval",
+            "retention",
+            "obs",
+        )
+        if len(legacy) > len(names):
+            raise TypeError(
+                f"run_algorithm takes at most {5 + len(names)} "
+                "positional arguments"
+            )
+        values = dict(zip(names, legacy))
+        options = values.get("options", options)
+        cost_model = values.get("cost_model", cost_model)
+        bfs_roots = values.get("bfs_roots", bfs_roots)
+        kcore_k = values.get("kcore_k", kcore_k)
+        kmeans_rounds = values.get("kmeans_rounds", kmeans_rounds)
+        fault_plan = values.get("fault_plan", fault_plan)
+        checkpoint_interval = values.get(
+            "checkpoint_interval", checkpoint_interval
+        )
+        retention = values.get("retention", retention)
+        obs = values.get("obs", obs)
+
+    config = RunConfig(
+        engine=engine_kind,
+        algorithm=algorithm,
+        machines=num_machines,
+        seed=seed,
+        options=options,
+        faults=fault_plan,
+        checkpointing=Checkpointing(
+            interval=checkpoint_interval, retention=retention
+        ),
+        obs=obs,
+        executor=executor if executor is not None else "serial",
+        workers=workers,
+        cost_model=cost_model,
+        bfs_roots=bfs_roots,
+        kcore_k=kcore_k,
+        kmeans_rounds=kmeans_rounds,
+    )
+    with Session(graph, config) as session:
+        return session.run()
 
 
 def _collect(

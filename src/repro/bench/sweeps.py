@@ -3,7 +3,9 @@
 Programmatic versions of the evaluation's sweep protocols: machine
 counts (Figure 10 / Table 7), K values (Table 2), and the degree
 threshold (Section 6).  Each returns structured results usable by the
-CLI, notebooks, or the benches.
+CLI, notebooks, or the benches.  All sweeps run through one
+:class:`repro.Session`, so the graph's partitions are built once per
+machine count and reused.
 """
 
 from __future__ import annotations
@@ -11,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.harness import RunResult, run_algorithm
+from repro.api import RunConfig, Session
+from repro.bench.harness import RunResult
 from repro.engine import SympleOptions
 from repro.graph.csr import CSRGraph
 
@@ -46,11 +49,13 @@ def machine_sweep(
 ) -> SweepResult:
     """Scalability sweep over the cluster size (Figure 10's x-axis)."""
     sweep = SweepResult(parameter="machines")
-    for p in machine_counts:
-        sweep.values.append(p)
-        sweep.runs[p] = run_algorithm(
-            engine_kind, graph, algorithm, num_machines=p, seed=seed, **kwargs
-        )
+    base = RunConfig(
+        engine=engine_kind, algorithm=algorithm, seed=seed, **kwargs
+    )
+    with Session(graph, base) as session:
+        for p in machine_counts:
+            sweep.values.append(p)
+            sweep.runs[p] = session.run(machines=p)
     return sweep
 
 
@@ -63,16 +68,16 @@ def kcore_sweep(
 ) -> SweepResult:
     """Table 2's K sweep."""
     sweep = SweepResult(parameter="k")
-    for k in ks:
-        sweep.values.append(k)
-        sweep.runs[k] = run_algorithm(
-            engine_kind,
-            graph,
-            "kcore",
-            num_machines=num_machines,
-            seed=seed,
-            kcore_k=k,
-        )
+    base = RunConfig(
+        engine=engine_kind,
+        algorithm="kcore",
+        machines=num_machines,
+        seed=seed,
+    )
+    with Session(graph, base) as session:
+        for k in ks:
+            sweep.values.append(k)
+            sweep.runs[k] = session.run(kcore_k=k)
     return sweep
 
 
@@ -88,21 +93,21 @@ def threshold_sweep(
     """Section 6's differentiated-propagation threshold sweep."""
     base = base_options or SympleOptions()
     sweep = SweepResult(parameter="degree_threshold")
-    for threshold in thresholds:
-        options = SympleOptions(
-            degree_threshold=threshold,
-            differentiated=True,
-            double_buffering=base.double_buffering,
-            schedule=base.schedule,
-        )
-        sweep.values.append(threshold)
-        sweep.runs[threshold] = run_algorithm(
-            "symple",
-            graph,
-            algorithm,
-            num_machines=num_machines,
-            seed=seed,
-            options=options,
-            **kwargs,
-        )
+    config = RunConfig(
+        engine="symple",
+        algorithm=algorithm,
+        machines=num_machines,
+        seed=seed,
+        **kwargs,
+    )
+    with Session(graph, config) as session:
+        for threshold in thresholds:
+            options = SympleOptions(
+                degree_threshold=threshold,
+                differentiated=True,
+                double_buffering=base.double_buffering,
+                schedule=base.schedule,
+            )
+            sweep.values.append(threshold)
+            sweep.runs[threshold] = session.run(options=options)
     return sweep

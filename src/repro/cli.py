@@ -31,7 +31,8 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import explain_signal
-from repro.bench import ALGORITHMS, DATASETS, dataset, run_algorithm, speedup
+from repro.api import Checkpointing, RunConfig, Session
+from repro.bench import ALGORITHMS, DATASETS, dataset, speedup
 from repro.bench.tables import format_table
 from repro.engine import SympleOptions
 
@@ -109,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="json",
         choices=("json", "prom"),
         help="metrics export format (default: json)",
+    )
+    run.add_argument(
+        "--digest",
+        action="store_true",
+        help="print the result's canonical sha256 digest (equal across "
+        "executor backends; the CI equivalence gate diffs it)",
     )
 
     metrics = sub.add_parser(
@@ -234,6 +241,17 @@ def _add_run_args(cmd: argparse.ArgumentParser) -> None:
         help="force the per-vertex UDF interpreter (disable the "
         "batched NumPy kernel fast path; results are identical)",
     )
+    cmd.add_argument(
+        "--executor", default="serial",
+        choices=("serial", "thread", "process"),
+        help="backend the per-machine work units run on (results are "
+        "bit-identical across backends; default: serial)",
+    )
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the thread/process executor "
+        "(default: cpu count)",
+    )
 
 
 def _options(args) -> SympleOptions:
@@ -245,25 +263,33 @@ def _options(args) -> SympleOptions:
     )
 
 
-def _execute(engine: str, args, obs=None):
+def _run_config(engine: str, args, obs=None) -> RunConfig:
     fault_plan = None
     if getattr(args, "faults", None):
         from repro.fault import FaultPlan
 
         fault_plan = FaultPlan.load(args.faults)
-    return run_algorithm(
-        engine,
-        dataset(args.dataset),
-        args.algorithm,
-        num_machines=args.machines,
+    return RunConfig(
+        engine=engine,
+        algorithm=args.algorithm,
+        machines=args.machines,
         seed=args.seed,
         options=_options(args) if engine == "symple" else None,
+        faults=fault_plan,
+        checkpointing=Checkpointing(
+            interval=getattr(args, "checkpoint_interval", 0)
+        ),
+        obs=obs,
+        executor=getattr(args, "executor", "serial"),
+        workers=getattr(args, "workers", None),
         bfs_roots=args.bfs_roots,
         kcore_k=args.kcore_k,
-        fault_plan=fault_plan,
-        checkpoint_interval=getattr(args, "checkpoint_interval", 0),
-        obs=obs,
     )
+
+
+def _execute(engine: str, args, obs=None):
+    with Session(dataset(args.dataset)) as session:
+        return session.run(_run_config(engine, args, obs=obs))
 
 
 def _export_metrics(registry, fmt: str, output: Optional[str]) -> None:
@@ -503,6 +529,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for key, value in sorted(result.extra.items()):
             print(f"{key}: {value}")
+        if args.digest:
+            print(f"digest: {result.digest()}")
         if hub is not None:
             hub.close()
             if args.trace:
@@ -514,8 +542,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        gem = _execute("gemini", args)
-        sym = _execute("symple", args)
+        with Session(dataset(args.dataset)) as session:
+            gem = session.run(_run_config("gemini", args))
+            sym = session.run(_run_config("symple", args))
         print(
             format_table(
                 f"{args.algorithm} on {args.dataset} "

@@ -1,5 +1,6 @@
 """Distributed engines: Gemini, SympleGraph, D-Galois, single-thread."""
 
+import warnings
 from typing import Optional, Union
 
 from repro.engine.base import BaseEngine, PullResult, PushResult
@@ -41,8 +42,11 @@ def make_engine(
     kind: str,
     graph_or_partition: Union[CSRGraph, Partition],
     num_machines: int = 16,
+    *legacy,
     options: Optional[SympleOptions] = None,
     obs=None,
+    executor=None,
+    workers: Optional[int] = None,
 ) -> BaseEngine:
     """Build an engine with its canonical partition strategy.
 
@@ -51,19 +55,56 @@ def make_engine(
     scale; ``single`` on one machine.  Pass a pre-built
     :class:`Partition` to override the strategy.  ``obs`` attaches an
     observability hub (an :class:`~repro.obs.hooks.ObsHub`, a
-    :class:`~repro.obs.tracer.Tracer`, or a trace-file path).
+    :class:`~repro.obs.tracer.Tracer`, or a trace-file path);
+    ``executor`` selects the backend per-machine work runs on
+    (``"serial"``/``"thread"``/``"process"`` or an
+    :class:`~repro.exec.Executor` instance) with ``workers`` bounding
+    its concurrency.
+
+    This is the low-level constructor; :class:`repro.Session` with a
+    :class:`repro.RunConfig` is the supported entry point for whole
+    runs.
     """
+    if legacy:
+        warnings.warn(
+            "passing make_engine arguments beyond num_machines "
+            "positionally is deprecated; use keyword arguments or "
+            "build a repro.RunConfig and run it through repro.Session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(legacy) > 2:
+            raise EngineError(
+                "make_engine takes at most (options, obs) positionally"
+            )
+        if options is None and len(legacy) >= 1:
+            options = legacy[0]
+        if obs is None and len(legacy) == 2:
+            obs = legacy[1]
     if kind not in _ENGINE_KINDS:
         raise EngineError(
             f"unknown engine kind {kind!r}; expected one of {_ENGINE_KINDS}"
         )
+    if options is not None and kind != "symple":
+        raise EngineError(
+            f"options= is a SympleGraph knob; the {kind!r} engine does "
+            "not accept it (drop it, or use kind='symple')"
+        )
+    if not isinstance(graph_or_partition, Partition) and num_machines < 1:
+        raise EngineError(
+            f"num_machines must be >= 1, got {num_machines}"
+        )
+    if workers is not None or executor is not None:
+        from repro.exec import make_executor
+
+        executor = make_executor(executor, workers=workers)
 
     if kind == "single":
         if isinstance(graph_or_partition, Partition):
             graph = graph_or_partition.graph
         else:
             graph = graph_or_partition
-        return SingleThreadEngine(graph, obs=obs)
+        return SingleThreadEngine(graph, obs=obs, executor=executor)
 
     if isinstance(graph_or_partition, Partition):
         partition = graph_or_partition
@@ -78,7 +119,9 @@ def make_engine(
             )
 
     if kind == "gemini":
-        return GeminiEngine(partition, obs=obs)
+        return GeminiEngine(partition, obs=obs, executor=executor)
     if kind == "dgalois":
-        return DGaloisEngine(partition, obs=obs)
-    return SympleGraphEngine(partition, options=options, obs=obs)
+        return DGaloisEngine(partition, obs=obs, executor=executor)
+    return SympleGraphEngine(
+        partition, options=options, obs=obs, executor=executor
+    )

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.analysis.instrument import AnalyzedSignal, instrument_signal
 from repro.engine.state import StateStore
+from repro.exec import work
 from repro.errors import EngineError
 from repro.kernels import get_kernel
 from repro.obs.hooks import ObsHub
@@ -129,6 +130,7 @@ class BaseEngine:
         default_cost: CostModel,
         use_kernels: bool = True,
         obs: Optional[ObsHub] = None,
+        executor=None,
     ) -> None:
         self.partition = partition
         self.graph = partition.graph
@@ -139,9 +141,51 @@ class BaseEngine:
         self.use_kernels = use_kernels
         self._analyzed: Dict[int, AnalyzedSignal] = {}
         self._fault_controller = None
+        self.executor = None
+        self.attach_executor(executor)
         self.obs: Optional[ObsHub] = None
         if obs is not None:
             self.attach_observer(obs)
+
+    # -- execution backend --------------------------------------------------
+
+    def attach_executor(self, executor=None) -> None:
+        """Install the executor that runs per-machine work units.
+
+        Accepts an :class:`~repro.exec.base.Executor` instance, a kind
+        string (``"serial"``/``"thread"``/``"process"``), or ``None``
+        for the default serial backend.  The executor is (re)bound to
+        this engine's partition; every backend produces bit-identical
+        results — see :mod:`repro.exec`.
+        """
+        from repro.exec import make_executor
+
+        self.executor = make_executor(executor)
+        self.executor.bind(self)
+
+    def _map_machines(self, fn, shared, items, state, step=None):
+        """Dispatch per-machine tasks, bracketing with ``exec_*`` events.
+
+        ``step`` supplies the straggler slowdown factors the concurrent
+        backends turn into real wall-clock stalls; results come back in
+        item order for the deterministic merge.
+        """
+        ex = self.executor
+        if self.obs is None:
+            return ex.map_machines(
+                fn, shared, items, state,
+                stalls=step.slowdown if step is not None else None,
+            )
+        self.obs.exec_map_begin(ex.kind, ex.workers, len(items))
+        t0 = perf_counter()
+        results = ex.map_machines(
+            fn, shared, items, state,
+            stalls=step.slowdown if step is not None else None,
+        )
+        if ex.last_fallback is not None:
+            self.obs.exec_fallback(ex.kind, ex.last_fallback)
+        self.obs.exec_map_end(ex.kind, len(items), perf_counter() - t0)
+        return results
 
     # -- observability ------------------------------------------------------
 
@@ -265,34 +309,32 @@ class BaseEngine:
         record = IterationRecord(mode="push")
         step = self._make_step(phase)
         buffer = _UpdateBuffer()
-        master_of = self.partition.master_of
         push_msg: Dict[Tuple[int, int], int] = {}
 
-        for m in range(self.num_machines):
-            local = self.partition.local_out(m)
-            degs = local.degrees()
-            cand = frontier_idx[degs[frontier_idx] > 0]
-            for u in cand:
-                u = int(u)
-                owner = int(master_of[u])
-                if owner != m:
+        results = self._map_machines(
+            work.push_task,
+            {"signal": push_signal, "frontier": frontier_idx},
+            [{"m": m} for m in range(self.num_machines)],
+            state,
+            step=step,
+        )
+        for res in results:
+            m = res["m"]
+            step.high_edges[m] += res["edges"]
+            step.high_vertices[m] += res["vertices"]
+            for op in res["ops"]:
+                if op[0] == "u":
                     # frontier state of u must reach this machine's
                     # out-edge replicas (free under outgoing edge-cut).
-                    self.network.send(owner, m, "push", 8)
-                    step.update_bytes[owner] += 8
-                for v in local.neighbors(u):
-                    v = int(v)
-                    step.high_edges[m] += 1
-                    value = push_signal(u, v, state)
-                    if value is None:
-                        continue
-                    dst_master = int(master_of[v])
+                    self.network.send(op[1], m, "push", 8)
+                    step.update_bytes[op[1]] += 8
+                else:
+                    _, v, value, dst_master = op
                     if dst_master != m:
                         key = (m, dst_master)
                         push_msg[key] = push_msg.get(key, 0) + update_bytes
                         step.update_bytes[m] += update_bytes
                     buffer.add(v, value)
-                step.high_vertices[m] += 1
 
         for (src, dst), nbytes in push_msg.items():
             self.network.send(src, dst, "push", nbytes)
@@ -418,44 +460,49 @@ class BaseEngine:
         no dependency to enforce.  Dispatches whole per-machine batches
         to a classified kernel when one applies."""
         phase = self._phase_begin("pull")
-        fn = analyzed.original
         master_of = self.partition.master_of
         record = IterationRecord(mode="pull")
         step = self._make_step(phase)
         buffer = _UpdateBuffer()
         plan = self._kernel_plan(analyzed, state)
-        for m in range(self.num_machines):
-            local = self.partition.local_in(m)
-            cand = self._active_candidates(active_idx, m)
-            if plan is not None:
-                spec, kernel = plan
-                batch = self._run_kernel(m, kernel, spec, state, local, cand)
-                step.high_edges[m] += int(batch.edges.sum())
-                step.high_vertices[m] += int(cand.size)
+        results = self._map_machines(
+            work.parallel_pull_task,
+            {
+                "signal": analyzed,
+                "active": active_idx,
+                "use_kernel": plan is not None,
+                "timed": self.obs is not None,
+            },
+            [{"m": m} for m in range(self.num_machines)],
+            state,
+            step=step,
+        )
+        for res in results:
+            m = res["m"]
+            step.high_edges[m] += res["edges"]
+            step.high_vertices[m] += res["vertices"]
+            if res["kernel"] is not None:
+                if self.obs is not None:
+                    self.obs.kernel_batch(
+                        m, res["kernel"], res["vertices"], res["edges"],
+                        res["seconds"],
+                    )
                 self._emit_kernel_batch(
                     m,
-                    cand[batch.emit_mask],
-                    batch.values[batch.emit_mask],
+                    res["emit_v"],
+                    res["emit_values"],
                     update_bytes,
                     step,
                     buffer,
                 )
                 continue
-            for v in cand:
-                v = int(v)
-                nbrs = CountingNeighbors(local.neighbors(v))
-                emitted: list = []
-                fn(v, nbrs, state, emitted.append)
-                step.high_edges[m] += nbrs.count
-                step.high_vertices[m] += 1
-                if not emitted:
-                    continue
+            for v, values in zip(res["emit_v"], res["emit_values"]):
                 master = int(master_of[v])
                 if master != m:
-                    nbytes = update_bytes * len(emitted)
+                    nbytes = update_bytes * len(values)
                     self.network.send(m, master, "update", nbytes)
                     step.update_bytes[m] += nbytes
-                for value in emitted:
+                for value in values:
                     buffer.add(v, value)
         changed, applied = buffer.apply(slot, state)
         record.steps = [step]

@@ -37,9 +37,11 @@ class DGaloisEngine(BaseEngine):
         cost_model: CostModel = DGALOIS_COST,
         use_kernels: bool = True,
         obs=None,
+        executor=None,
     ) -> None:
         super().__init__(
-            partition, cost_model, use_kernels=use_kernels, obs=obs
+            partition, cost_model, use_kernels=use_kernels, obs=obs,
+            executor=executor,
         )
 
     def pull(

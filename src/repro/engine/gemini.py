@@ -36,9 +36,11 @@ class GeminiEngine(BaseEngine):
         cost_model: CostModel = GEMINI_COST,
         use_kernels: bool = True,
         obs=None,
+        executor=None,
     ) -> None:
         super().__init__(
-            partition, cost_model, use_kernels=use_kernels, obs=obs
+            partition, cost_model, use_kernels=use_kernels, obs=obs,
+            executor=executor,
         )
 
     def pull(

@@ -33,8 +33,10 @@ class SingleThreadEngine(GeminiEngine):
         cost_model: CostModel = SINGLE_THREAD_COST,
         use_kernels: bool = True,
         obs=None,
+        executor=None,
     ) -> None:
         partition = OutgoingEdgeCut().partition(graph, 1)
         super().__init__(
-            partition, cost_model, use_kernels=use_kernels, obs=obs
+            partition, cost_model, use_kernels=use_kernels, obs=obs,
+            executor=executor,
         )

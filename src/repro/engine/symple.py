@@ -30,7 +30,7 @@ Figure 11 ablation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -44,6 +44,7 @@ from repro.engine.base import (
 )
 from repro.engine.dep import DepStore
 from repro.engine.state import StateStore
+from repro.exec import work
 from repro.errors import EngineError
 from repro.partition.base import Partition
 from repro.runtime.bitmap import Bitmap
@@ -63,23 +64,6 @@ DEFAULT_DEGREE_THRESHOLD = 4
 class SympleOptions:
     """Feature switches for the SympleGraph runtime.
 
-    ``dep_loss_rate`` injects failures: each control-bit read misses
-    with that probability, as if a machine started its step before the
-    dependency message arrived.  Section 5.1: "if a machine does not
-    wait for receiving the full dependency communication ... the
-    correctness is not compromised.  With incomplete information, the
-    framework will just miss some opportunities" — results must stay
-    identical while savings shrink; the failure-injection tests assert
-    exactly that.
-
-    ``dep_loss_rate``/``dep_loss_seed`` are deprecated aliases kept for
-    backward compatibility: the fault subsystem expresses the same
-    experiment as ``FaultPlan.dep_loss(rate, seed)`` (see
-    :mod:`repro.fault`), whose single plan-seeded generator also drives
-    every other fault draw.  An attached
-    :class:`~repro.fault.injector.FaultController` with a dep-drop
-    fault takes precedence over these options.
-
     ``use_kernels`` enables the batched NumPy fast path
     (:mod:`repro.kernels`) for UDFs the analyzer classified into a
     vectorizable shape; results, counters, and traffic are bit-identical
@@ -90,24 +74,38 @@ class SympleOptions:
     circulant step, dependency hand-off, and kernel batch to the given
     path (see :mod:`repro.obs`); ``None`` — the default — disables
     tracing entirely, with no instrumentation overhead.
+
+    Dependency-loss injection (the old ``dep_loss_rate``/
+    ``dep_loss_seed`` knobs) lives in the fault subsystem: build
+    ``FaultPlan.dep_loss(rate, seed)`` and attach it with
+    :meth:`BaseEngine.attach_faults` or ``RunConfig(faults=...)``; the
+    plan's single seeded generator drives every fault draw.
     """
 
     degree_threshold: int = DEFAULT_DEGREE_THRESHOLD
     differentiated: bool = True
     double_buffering: bool = True
     schedule: str = "circulant"
-    dep_loss_rate: float = 0.0
-    dep_loss_seed: int = 0
     use_kernels: bool = True
     trace: Optional[str] = None
+    # removed in this release (deprecated since the fault subsystem
+    # landed); InitVars so passing them raises a pointed error instead
+    # of a bare TypeError
+    dep_loss_rate: InitVar[Optional[float]] = None
+    dep_loss_seed: InitVar[Optional[int]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, dep_loss_rate=None, dep_loss_seed=None) -> None:
+        if dep_loss_rate is not None or dep_loss_seed is not None:
+            raise EngineError(
+                "SympleOptions.dep_loss_rate/dep_loss_seed were removed; "
+                "build FaultPlan.dep_loss(rate, seed) and attach it via "
+                "engine.attach_faults(FaultController(plan, num_machines)) "
+                "or RunConfig(faults=plan)"
+            )
         if self.schedule not in ("circulant", "naive"):
             raise EngineError(f"unknown schedule {self.schedule!r}")
         if self.degree_threshold < 0:
             raise EngineError("degree_threshold must be non-negative")
-        if not 0.0 <= self.dep_loss_rate <= 1.0:
-            raise EngineError("dep_loss_rate must be a probability")
 
 
 def circulant_partition(machine: int, step: int, num_machines: int) -> int:
@@ -139,11 +137,12 @@ class SympleGraphEngine(BaseEngine):
         options: Optional[SympleOptions] = None,
         cost_model: CostModel = SYMPLE_COST,
         obs=None,
+        executor=None,
     ) -> None:
         self.options = options or SympleOptions()
         super().__init__(
             partition, cost_model, use_kernels=self.options.use_kernels,
-            obs=obs,
+            obs=obs, executor=executor,
         )
         if self.obs is None and self.options.trace is not None:
             self.attach_observer(self.options.trace)
@@ -218,19 +217,13 @@ class SympleGraphEngine(BaseEngine):
         else:
             high_mask = np.ones(self.graph.num_vertices, dtype=bool)
 
-        # Dependency-loss draws: an attached FaultController owns the
-        # (single, plan-seeded) stream; the legacy SympleOptions knobs
-        # keep their per-pull generator for backward compatibility.
+        # Dependency-loss draws come from the attached FaultController's
+        # single plan-seeded stream.  When active, the draw order is a
+        # per-vertex observable, so the phase stays on the in-engine
+        # serial path regardless of the executor backend (see below).
         controller = self._fault_controller
         if controller is not None and controller.dep_loss_rate > 0.0:
             dep_lost = controller.dep_lost
-        elif self.options.dep_loss_rate > 0.0:
-            loss_rng = np.random.default_rng(self.options.dep_loss_seed)
-            rate = self.options.dep_loss_rate
-
-            def dep_lost() -> bool:
-                return bool(loss_rng.random() < rate)
-
         else:
             dep_lost = None
 
@@ -269,6 +262,12 @@ class SympleGraphEngine(BaseEngine):
         buffer = _UpdateBuffer()
         steps: List[StepRecord] = []
         total_edges = 0
+        # Dependency-loss draws interleave per vertex with the plan's
+        # single generator, so only a draw-free phase may fan its
+        # per-machine batches out to the executor; a faulted phase runs
+        # the in-engine serial loop below (which the serial backend
+        # matches bit for bit anyway).
+        route = dep_lost is None
 
         for s in range(p):
             if s > 0 and controller is not None:
@@ -281,6 +280,30 @@ class SympleGraphEngine(BaseEngine):
             if self.obs is not None:
                 self.obs.step_begin(s)
             is_last = s == p - 1
+            if route:
+                # one (machine -> destination partition) batch per task
+                batches = []
+                for m in range(p):
+                    j = circulant_partition(m, s, p)
+                    part = by_master[j]
+                    batches.append((m, j, part[machine_degs[m][part] > 0]))
+                if plan is not None:
+                    self._circulant_kernel_step(
+                        plan, analyzed, state, batches, high_mask,
+                        dep_store, has_data, update_bytes, step, buffer,
+                        s, part_high_size, dep_payload_bytes,
+                    )
+                else:
+                    self._circulant_interp_step(
+                        analyzed, state, batches, high_mask, dep_store,
+                        share_dep_data, is_last, update_bytes, step,
+                        buffer, s, part_high_size, dep_payload_bytes,
+                    )
+                steps.append(step)
+                total_edges += step.total_edges()
+                if self.obs is not None:
+                    self.obs.step_end(s, step)
+                continue
             for m in range(p):
                 j = circulant_partition(m, s, p)
                 local = self.partition.local_in(m)
@@ -493,6 +516,182 @@ class SympleGraphEngine(BaseEngine):
             step.update_bytes[m] += update_bytes * count
         for v, value in zip(emit_v.tolist(), emit_vals):
             buffer.add(v, value)
+
+    def _circulant_kernel_step(
+        self,
+        plan,
+        analyzed,
+        state: StateStore,
+        batches,
+        high_mask: np.ndarray,
+        dep_store: DepStore,
+        has_data: bool,
+        update_bytes: int,
+        step: StepRecord,
+        buffer: _UpdateBuffer,
+        s: int,
+        part_high_size,
+        dep_payload_bytes: int,
+    ) -> None:
+        """One circulant step on the kernel fast path, via the executor.
+
+        The parent resolves the dependency store up front (skip-bit
+        filtering, restored carried data), fans the per-machine kernel
+        batches out through ``map_machines``, then replays the serial
+        loop's side effects machine by machine in ascending order —
+        dep-store write-back, metering, obs events, sends, buffering,
+        and the dependency hand-off — so every backend is bit-identical
+        to the old in-engine loop.
+        """
+        spec, _ = plan
+        carried_name = spec.carried_vars[0] if spec.carried_vars else None
+        items = []
+        runs = []
+        lows = []
+        for m, j, cand in batches:
+            high_sel = high_mask[cand]
+            high = cand[high_sel]
+            low = cand[~high_sel]
+            run = high[~dep_store.skip[high]]
+            carried_in = None
+            if has_data and carried_name is not None:
+                carried_in = (
+                    dep_store.present[carried_name][run].copy(),
+                    dep_store.data[carried_name][run],
+                )
+            items.append({"m": m, "run": run, "carried": carried_in,
+                          "low": low})
+            runs.append(run)
+            lows.append(low)
+
+        shared = {"signal": analyzed, "timed": self.obs is not None}
+        results = self._map_machines(
+            work.circulant_kernel_task, shared, items, state, step=step
+        )
+        for (m, j, _), run, low, res in zip(batches, runs, lows, results):
+            if self.obs is not None:
+                self.obs.kernel_batch(
+                    m, res["kind"], int(run.size), res["high_edges"],
+                    res["high_seconds"],
+                )
+            step.high_edges[m] += res["high_edges"]
+            step.high_vertices[m] += int(run.size)
+            if res["broke"] is not None:
+                dep_store.skip[run[res["broke"]]] = True
+            if has_data and carried_name is not None and run.size:
+                dep_store.data[carried_name][run] = res["carried"]
+                dep_store.present[carried_name][run] = True
+            if self.obs is not None:
+                self.obs.kernel_batch(
+                    m, res["kind"], int(low.size), res["low_edges"],
+                    res["low_seconds"],
+                )
+            step.low_edges[m] += res["low_edges"]
+            step.low_vertices[m] += int(low.size)
+
+            emit_v = np.concatenate(
+                [run[res["high_emit_mask"]], low[res["low_emit_mask"]]]
+            )
+            if emit_v.size:
+                emit_vals = np.concatenate(
+                    [
+                        res["high_values"][res["high_emit_mask"]],
+                        res["low_values"][res["low_emit_mask"]],
+                    ]
+                )
+                order = np.argsort(emit_v)
+                emit_v = emit_v[order]
+                emit_vals = emit_vals[order]
+                if j != m:
+                    count = int(emit_v.size)
+                    if self._grouped_sends_ok():
+                        self.network.send(
+                            m, j, "update", update_bytes * count,
+                            messages=count,
+                        )
+                    else:
+                        for _ in range(count):
+                            self.network.send(m, j, "update", update_bytes)
+                    step.update_bytes[m] += update_bytes * count
+                for v, value in zip(emit_v.tolist(), emit_vals):
+                    buffer.add(v, value)
+            self._circulant_handoff(
+                s, m, part_high_size[j], dep_payload_bytes, step
+            )
+
+    def _circulant_interp_step(
+        self,
+        analyzed,
+        state: StateStore,
+        batches,
+        high_mask: np.ndarray,
+        dep_store: DepStore,
+        share_dep_data: bool,
+        is_last: bool,
+        update_bytes: int,
+        step: StepRecord,
+        buffer: _UpdateBuffer,
+        s: int,
+        part_high_size,
+        dep_payload_bytes: int,
+    ) -> None:
+        """One circulant step on the per-vertex interpreter, via the
+        executor.
+
+        Each task rebuilds a machine-local dependency store seeded with
+        this machine's candidate slices (a step's partitions are
+        disjoint, so slices never conflict); the parent writes the
+        outgoing slices back and replays sends/buffering in the serial
+        loop's order.
+        """
+        master_of = self.partition.master_of
+        items = []
+        for m, j, cand in batches:
+            high_sel = high_mask[cand]
+            items.append({
+                "m": m,
+                "cand": cand,
+                "high_sel": high_sel,
+                "skip": dep_store.skip[cand],
+                "data": {
+                    name: dep_store.data[name][cand]
+                    for name in dep_store.data
+                },
+                "present": {
+                    name: dep_store.present[name][cand]
+                    for name in dep_store.present
+                },
+            })
+        shared = {
+            "signal": analyzed,
+            "is_last": is_last,
+            "carried_vars": list(analyzed.info.carried_vars),
+            "share_dep_data": share_dep_data,
+        }
+        results = self._map_machines(
+            work.circulant_interp_task, shared, items, state, step=step
+        )
+        for (m, j, cand), item, res in zip(batches, items, results):
+            step.high_edges[m] += res["high_edges"]
+            step.low_edges[m] += res["low_edges"]
+            step.high_vertices[m] += res["high_vertices"]
+            step.low_vertices[m] += res["low_vertices"]
+            for v, values in zip(res["emit_v"], res["emit_values"]):
+                master = int(master_of[v])
+                if master != m:
+                    nbytes = update_bytes * len(values)
+                    self.network.send(m, master, "update", nbytes)
+                    step.update_bytes[m] += nbytes
+                for value in values:
+                    buffer.add(v, value)
+            high = cand[item["high_sel"]]
+            dep_store.skip[high] = res["skip_out"]
+            for name in dep_store.data:
+                dep_store.data[name][high] = res["data_out"][name]
+                dep_store.present[name][high] = res["present_out"][name]
+            self._circulant_handoff(
+                s, m, part_high_size[j], dep_payload_bytes, step
+            )
 
     # -- timing ---------------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""Pluggable executors: where per-machine work units run.
+
+``SerialExecutor`` (default) runs tasks inline; ``ThreadPoolExecutor``
+and ``ProcessPoolExecutor`` run them concurrently with a deterministic
+merge, so every backend produces bit-identical results, counters, and
+traffic.  See :mod:`repro.exec.base` for the contract and
+:mod:`repro.exec.work` for the task functions.
+"""
+
+from repro.exec.base import (
+    EXECUTOR_KINDS,
+    Executor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
+
+
+def __getattr__(name):
+    # ProcessPoolExecutor pulls in multiprocessing; import on demand
+    if name == "ProcessPoolExecutor":
+        from repro.exec.process import ProcessPoolExecutor
+
+        return ProcessPoolExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

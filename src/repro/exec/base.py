@@ -1,0 +1,184 @@
+"""Executor abstraction: where per-machine work units actually run.
+
+Engines route every per-(machine, step) work unit through
+``executor.map_machines(task_fn, shared, items, state, stalls)``; the
+executor decides *where* the task functions run — inline
+(:class:`SerialExecutor`), on a thread pool
+(:class:`ThreadPoolExecutor`), or on forked worker processes mapping
+the CSR topology and vertex state zero-copy out of shared memory
+(:class:`~repro.exec.process.ProcessPoolExecutor`).  Results always
+come back in item order and the parent merges them deterministically,
+so counters, traffic, and results are bit-identical across backends —
+the backend is purely a wall-clock knob, exactly like ``use_kernels``.
+
+``stalls`` carries the fault controller's per-machine straggler
+factors: the simulated cost model already charges them, and the
+concurrent backends additionally turn them into real wall-clock stalls
+(a machine slowed by factor f sleeps (f-1) x its compute time).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent import futures
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import EngineError
+from repro.exec.work import WorkerContext
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def _run_with_stall(fn, ctx, shared, item, factor: float):
+    """Run one task, then sleep out its straggler delay for real."""
+    t0 = time.perf_counter()
+    result = fn(ctx, shared, item)
+    if factor > 1.0:
+        time.sleep((factor - 1.0) * (time.perf_counter() - t0))
+    return result
+
+
+class Executor:
+    """Maps per-machine task functions; backends differ in where."""
+
+    kind = "abstract"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = int(workers) if workers else 1
+        self._ctx: Optional[WorkerContext] = None
+        self._partition = None
+        # reason the last map ran serially despite the backend, if any
+        self.last_fallback: Optional[str] = None
+
+    def bind(self, engine) -> None:
+        """Target this executor at an engine's partition.
+
+        Called by :meth:`BaseEngine.attach_executor`; rebinding to a
+        different partition re-derives every cached view.
+        """
+        partition = engine.partition
+        if partition is self._partition:
+            return
+        self._partition = partition
+        p = partition.num_machines
+        self._ctx = WorkerContext(
+            [partition.local_in(m) for m in range(p)],
+            [partition.local_out(m) for m in range(p)],
+            partition.master_of,
+            partition.graph.num_vertices,
+        )
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """Backend hook run after the partition changed."""
+
+    def map_machines(
+        self,
+        fn,
+        shared: Dict[str, Any],
+        items: Sequence[Dict[str, Any]],
+        state,
+        stalls=None,
+    ) -> List[Any]:
+        """Run ``fn(ctx, shared, item)`` for every item; results in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools and shared-memory segments."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every task inline — the default, and the reference order."""
+
+    kind = "serial"
+
+    def map_machines(self, fn, shared, items, state, stalls=None):
+        ctx = self._ctx
+        ctx.state = state
+        return [fn(ctx, shared, item) for item in items]
+
+
+class ThreadPoolExecutor(Executor):
+    """Run tasks on a thread pool.
+
+    Python bytecode serializes on the GIL, but the batched NumPy
+    kernels release it, so kernel-classified workloads overlap; the
+    backend also exercises the full concurrent merge path with zero
+    serialization cost, making it the cheap determinism check.
+    """
+
+    kind = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        import os
+
+        super().__init__(workers or os.cpu_count() or 1)
+        self._pool: Optional[futures.ThreadPoolExecutor] = None
+
+    def map_machines(self, fn, shared, items, state, stalls=None):
+        if self._pool is None:
+            self._pool = futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-exec",
+            )
+        ctx = self._ctx
+        ctx.state = state
+        pending = [
+            self._pool.submit(
+                _run_with_stall,
+                fn,
+                ctx,
+                shared,
+                item,
+                float(stalls[int(item["m"])]) if stalls is not None else 1.0,
+            )
+            for item in items
+        ]
+        return [f.result() for f in pending]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(spec=None, workers: Optional[int] = None) -> Executor:
+    """Build an executor from a kind string, an instance, or ``None``.
+
+    ``None`` and ``"serial"`` give the in-process reference backend;
+    an :class:`Executor` instance passes through unchanged (``workers``
+    must then be left unset).
+    """
+    if isinstance(spec, Executor):
+        if workers is not None and workers != spec.workers:
+            raise EngineError(
+                "workers= conflicts with the explicit Executor instance; "
+                "configure the instance instead"
+            )
+        return spec
+    if spec is None or spec == "serial":
+        return SerialExecutor(workers)
+    if spec == "thread":
+        return ThreadPoolExecutor(workers)
+    if spec == "process":
+        from repro.exec.process import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(workers)
+    raise EngineError(
+        f"unknown executor {spec!r}; expected one of {EXECUTOR_KINDS} "
+        "or an Executor instance"
+    )

@@ -1,0 +1,220 @@
+"""Process-pool executor backend.
+
+Forked worker processes execute the per-machine task functions.  The
+immutable CSR topology (per-machine ``indptr``/``indices``/``weights``
+plus the master map) is published to POSIX shared memory once per bind;
+vertex-state arrays are mirrored into reusable segments before every
+map call, so workers build zero-copy views instead of unpickling
+megabytes per task.
+
+Compiled artifacts never cross the process boundary: the parent strips
+an :class:`AnalyzedSignal` down to its original function (which pickles
+by reference) and workers re-derive the instrumented form and kernel
+spec locally, cached per function.  Anything that genuinely cannot be
+pickled — closure UDFs, exotic state objects — degrades gracefully:
+the map runs inline on the parent and the engine reports an
+``exec_fallback`` event with the reason.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import time
+import weakref
+from concurrent import futures
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.instrument import AnalyzedSignal
+from repro.exec.base import Executor
+from repro.exec.shm import ShmArena, ship, unship
+
+__all__ = ["ProcessPoolExecutor"]
+
+_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leaked_arenas() -> None:  # pragma: no cover - exit path
+    for arena in list(_ARENAS):
+        arena.close()
+
+
+# -- worker side -----------------------------------------------------------
+
+_CTX = None
+
+
+def _init_worker(manifest) -> None:
+    """Build the worker's dataset context from the shipped manifest."""
+    global _CTX
+    from repro.exec.work import WorkerContext
+    from repro.partition.base import LocalAdjacency
+
+    data = unship(manifest)
+    local_in = [
+        LocalAdjacency(d["indptr"], d["indices"], d["weights"])
+        for d in data["local_in"]
+    ]
+    local_out = [
+        LocalAdjacency(d["indptr"], d["indices"], d["weights"])
+        for d in data["local_out"]
+    ]
+    _CTX = WorkerContext(
+        local_in, local_out, data["master_of"], data["num_vertices"]
+    )
+
+
+def _build_state(state_spec):
+    from repro.engine.state import StateStore
+
+    arrays, scalars, num_vertices = state_spec
+    state = StateStore(num_vertices)
+    for name, shipped in unship(arrays).items():
+        state.set(name, shipped)
+    for name, value in scalars.items():
+        state.set(name, value)
+    return state
+
+
+def _worker_run(fn, shared, item, state_spec, stall: float):
+    ctx = _CTX
+    ctx.state = _build_state(state_spec)
+    shared = unship(shared)
+    item = unship(item)
+    t0 = time.perf_counter()
+    result = fn(ctx, shared, item)
+    if stall > 1.0:
+        time.sleep((stall - 1.0) * (time.perf_counter() - t0))
+    return result
+
+
+# -- parent side -----------------------------------------------------------
+
+
+class ProcessPoolExecutor(Executor):
+    """Run tasks on forked worker processes over shared-memory views."""
+
+    kind = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__(workers or os.cpu_count() or 1)
+        self._pool: Optional[futures.ProcessPoolExecutor] = None
+        self._arena = ShmArena()
+        _ARENAS.add(self._arena)
+        self._manifest = None
+
+    # -- dataset publication ----------------------------------------------
+
+    def _rebind(self) -> None:
+        partition = self._partition
+        p = partition.num_machines
+
+        def adjacency(local, key):
+            return {
+                "indptr": self._arena.publish(f"{key}.indptr", local.indptr),
+                "indices": self._arena.publish(
+                    f"{key}.indices", local.indices
+                ),
+                "weights": (
+                    None
+                    if local.weights is None
+                    else self._arena.publish(f"{key}.weights", local.weights)
+                ),
+            }
+
+        self._manifest = {
+            "local_in": [
+                adjacency(partition.local_in(m), f"in{m}") for m in range(p)
+            ],
+            "local_out": [
+                adjacency(partition.local_out(m), f"out{m}") for m in range(p)
+            ],
+            "master_of": self._arena.publish(
+                "master_of", partition.master_of
+            ),
+            "num_vertices": int(partition.graph.num_vertices),
+        }
+        if self._pool is not None:
+            # the old workers hold views of the previous partition
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> futures.ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context("spawn")
+            self._pool = futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self._manifest,),
+            )
+        return self._pool
+
+    # -- per-call state sync ----------------------------------------------
+
+    def _state_spec(self, state):
+        import numpy as np
+
+        arrays: Dict[str, Any] = {}
+        scalars: Dict[str, Any] = {}
+        for name in state:
+            value = getattr(state, name)
+            if isinstance(value, np.ndarray):
+                arrays[name] = self._arena.mirror(f"state.{name}", value)
+            else:
+                scalars[name] = value
+        return arrays, scalars, int(state.num_vertices)
+
+    @staticmethod
+    def _strip(shared: Dict[str, Any]) -> Dict[str, Any]:
+        """Signal functions travel by reference, not compiled form."""
+        out = dict(shared)
+        signal = out.get("signal")
+        if isinstance(signal, AnalyzedSignal):
+            out["signal"] = signal.original
+        return out
+
+    def map_machines(self, fn, shared, items, state, stalls=None):
+        self.last_fallback = None
+        shipped_shared = ship(self._strip(shared), self._arena, "shared")
+        shipped_items = [
+            ship(item, self._arena, f"item{i}")
+            for i, item in enumerate(items)
+        ]
+        state_spec = self._state_spec(state)
+        try:
+            pickle.dumps(
+                (fn, shipped_shared, shipped_items, state_spec),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:
+            # closure UDFs / exotic state objects: run inline instead
+            self.last_fallback = f"{type(exc).__name__}: {exc}"
+            ctx = self._ctx
+            ctx.state = state
+            return [fn(ctx, shared, item) for item in items]
+        pool = self._ensure_pool()
+        pending = [
+            pool.submit(
+                _worker_run,
+                fn,
+                shipped_shared,
+                item,
+                state_spec,
+                float(stalls[int(item["m"])]) if stalls is not None else 1.0,
+            )
+            for item in shipped_items
+        ]
+        return [f.result() for f in pending]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._arena.close()

@@ -1,0 +1,153 @@
+"""Shared-memory publication for the process executor.
+
+The parent publishes NumPy arrays into POSIX shared memory once (the
+immutable CSR topology) or mirrors them before each map call (vertex
+state, per-call index arrays); workers attach the segments by name and
+build zero-copy array views.  Arrays travel in payloads as small
+placeholder tuples — :func:`ship` walks a payload replacing every
+ndarray, :func:`unship` reverses it on the worker side.
+
+Tiny arrays are shipped inline as bytes (a pickle round-trip beats a
+segment for anything under a page); everything else goes through an
+:class:`ShmArena` block that is reused across calls while the capacity
+fits and transparently replaced (new name) when it does not.
+
+Python 3.11's ``SharedMemory`` registers every *attach* with the
+resource tracker, which would double-unlink the parent's segments (and,
+under fork, strip the parent's own registration from the shared tracker
+process); workers therefore attach with registration suppressed — the
+parent remains the sole owner and unlinks everything at close.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["ShmArena", "ship", "unship", "attach_array"]
+
+_SHM_TAG = "__repro_shm__"
+_INLINE_TAG = "__repro_arr__"
+# below this many bytes an array ships inline with the pickled payload
+INLINE_LIMIT = 2048
+
+
+class ShmArena:
+    """Named shared-memory blocks owned by the parent process.
+
+    ``publish`` writes an array once under a stable key; ``mirror``
+    rewrites it on every call, growing (and renaming) the backing block
+    only when the array outgrows the current capacity.  ``close``
+    unlinks everything — the arena is the single owner of its segments.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, shared_memory.SharedMemory] = {}
+
+    def _place(self, key: str, array: np.ndarray) -> Tuple[str, str, tuple]:
+        nbytes = int(array.nbytes)
+        block = self._blocks.get(key)
+        if block is not None and block.size < nbytes:
+            block.close()
+            block.unlink()
+            block = None
+            del self._blocks[key]
+        if block is None:
+            # grow with slack so repeated mirrors of slightly varying
+            # sizes do not reallocate (and rename) every call
+            block = shared_memory.SharedMemory(
+                create=True, size=max(nbytes * 2, 64)
+            )
+            self._blocks[key] = block
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        return block.name, array.dtype.str, array.shape
+
+    def publish(self, key: str, array: np.ndarray) -> tuple:
+        """Copy ``array`` into shared memory under ``key``, once."""
+        return (_SHM_TAG, *self._place(key, np.ascontiguousarray(array)))
+
+    def mirror(self, key: str, array: np.ndarray) -> tuple:
+        """Copy the current contents of ``array`` under ``key``."""
+        return self.publish(key, array)
+
+    def close(self) -> None:
+        for block in self._blocks.values():
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._blocks.clear()
+
+
+def ship(value: Any, arena: ShmArena, key: str) -> Any:
+    """Replace every ndarray in ``value`` with a shipped placeholder.
+
+    Recurses through dicts, lists, and tuples; ``key`` namespaces the
+    arena blocks so distinct payload slots never alias.
+    """
+    if isinstance(value, np.ndarray):
+        if value.nbytes <= INLINE_LIMIT:
+            arr = np.ascontiguousarray(value)
+            return (_INLINE_TAG, arr.dtype.str, arr.shape, arr.tobytes())
+        return arena.mirror(key, value)
+    if isinstance(value, dict):
+        return {
+            k: ship(v, arena, f"{key}.{k}") for k, v in value.items()
+        }
+    if isinstance(value, list):
+        return [ship(v, arena, f"{key}.{i}") for i, v in enumerate(value)]
+    if isinstance(value, tuple):
+        return tuple(
+            ship(v, arena, f"{key}.{i}") for i, v in enumerate(value)
+        )
+    return value
+
+
+# -- worker side -----------------------------------------------------------
+
+# attached segments, cached per name for the life of the worker
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_array(name: str, dtype: str, shape: tuple) -> np.ndarray:
+    """Zero-copy view of a published array inside a worker process."""
+    block = _ATTACHED.get(name)
+    if block is None:
+        if len(_ATTACHED) > 512:
+            # stale mirrors from outgrown blocks; drop the cache (the
+            # parent unlinked the files, closing is safe)
+            for old in _ATTACHED.values():
+                old.close()
+            _ATTACHED.clear()
+        # suppress the 3.11 attach-side tracker registration: with a
+        # forked worker the tracker process is shared, so registering
+        # (then unregistering at exit) would strip the parent's claim
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+        _ATTACHED[name] = block
+    return np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=block.buf)
+
+
+def unship(value: Any) -> Any:
+    """Reverse :func:`ship` on the worker side."""
+    if isinstance(value, tuple) and value:
+        if value[0] == _SHM_TAG:
+            _, name, dtype, shape = value
+            return attach_array(name, dtype, shape)
+        if value[0] == _INLINE_TAG:
+            _, dtype, shape, raw = value
+            return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+        return tuple(unship(v) for v in value)
+    if isinstance(value, dict):
+        return {k: unship(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [unship(v) for v in value]
+    return value

@@ -169,6 +169,33 @@ class ObsHub:
                    machine=machine, kernel=kernel, vertices=int(vertices),
                    edges=int(edges), seconds=seconds)
 
+    def exec_map_begin(self, backend: str, workers: int,
+                       tasks: int) -> None:
+        self.metrics.counter(
+            "repro_exec_maps_total", "executor map_machines dispatches",
+            labels=("backend",),
+        ).inc(backend=backend)
+        self._emit("exec_map_begin", phase=self._phase, step=self._step,
+                   backend=backend, workers=int(workers), tasks=int(tasks))
+
+    def exec_map_end(self, backend: str, tasks: int,
+                     seconds: float) -> None:
+        self.metrics.histogram(
+            "repro_exec_map_seconds",
+            "wall-clock seconds per executor map",
+            buckets=(1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0),
+        ).observe(seconds)
+        self._emit("exec_map_end", phase=self._phase, step=self._step,
+                   backend=backend, tasks=int(tasks), seconds=seconds)
+
+    def exec_fallback(self, backend: str, reason: str) -> None:
+        self.metrics.counter(
+            "repro_exec_fallbacks_total",
+            "executor maps that degraded to inline execution",
+            labels=("backend",),
+        ).inc(backend=backend)
+        self._emit("exec_fallback", backend=backend, reason=reason)
+
     def sync_update(self, record_index: int, nbytes: int) -> None:
         self._emit("sync_update", record=record_index, bytes=int(nbytes))
 

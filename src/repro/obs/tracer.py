@@ -60,6 +60,13 @@ EVENT_KINDS: Dict[str, tuple] = {
     # batched-kernel fast-path invocations (wall-clock profiled)
     "kernel_batch": ("phase", "machine", "kernel", "vertices", "edges",
                      "seconds"),
+    # executor dispatch spans (one map_machines call each); the
+    # backend/workers fields are run configuration, like "seconds" —
+    # everything that feeds counter reconstruction lives elsewhere
+    "exec_map_begin": ("phase", "step", "backend", "workers", "tasks"),
+    "exec_map_end": ("phase", "step", "backend", "tasks", "seconds"),
+    # a concurrent backend ran one map inline (unpicklable payload)
+    "exec_fallback": ("backend", "reason"),
     # out-of-phase sync broadcast (BaseEngine.sync_state)
     "sync_update": ("record", "bytes"),
     # implicit iteration record created by sync_state on a fresh engine

@@ -1,0 +1,245 @@
+"""The Session/RunConfig entry point and its deprecation story.
+
+Covers: RunConfig construction, validation, replace(), and
+to_dict/from_dict round-trips; Session caching, overrides, lifecycle,
+and parity with the legacy :func:`run_algorithm` wrapper; and the
+DeprecationWarnings the legacy surfaces (run_algorithm keyword pile,
+make_engine extended positionals) are required to raise.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import Checkpointing, RunConfig, Session
+from repro.bench import run_algorithm
+from repro.engine import SympleOptions, make_engine
+from repro.errors import EngineError, UnsupportedAlgorithmError
+from repro.exec import SerialExecutor, ThreadPoolExecutor
+from repro.fault import FaultPlan
+from repro.graph import erdos_renyi, to_undirected
+from repro.obs import ObsHub
+from repro.partition import OutgoingEdgeCut
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return to_undirected(erdos_renyi(48, 220, seed=4))
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        config = RunConfig()
+        assert config.engine == "symple"
+        assert config.algorithm == "bfs"
+        assert config.machines == 16
+        assert config.executor == "serial"
+        assert config.checkpointing == Checkpointing()
+        assert not config.faulted
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RunConfig().machines = 8
+
+    def test_replace_returns_new_validated_config(self):
+        base = RunConfig(machines=4)
+        other = base.replace(machines=8, algorithm="kcore")
+        assert base.machines == 4
+        assert (other.machines, other.algorithm) == (8, "kcore")
+        with pytest.raises(EngineError):
+            base.replace(machines=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engine": "nope"},
+            {"algorithm": "nope"},
+            {"machines": 0},
+            {"engine": "gemini", "options": SympleOptions()},
+            {"executor": "gpu"},
+            {"workers": 0},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(EngineError):
+            RunConfig(**kwargs)
+
+    def test_faulted_requires_resumable_algorithm(self):
+        with pytest.raises(UnsupportedAlgorithmError):
+            RunConfig(algorithm="kmeans", faults=FaultPlan.dep_loss(0.1))
+        with pytest.raises(UnsupportedAlgorithmError):
+            RunConfig(
+                algorithm="sampling", checkpointing=Checkpointing(interval=1)
+            )
+
+    def test_faulted_property(self):
+        assert RunConfig(faults=FaultPlan.dep_loss(0.1)).faulted
+        assert RunConfig(checkpointing=Checkpointing(interval=2)).faulted
+        assert not RunConfig(faults=FaultPlan(seed=1)).faulted  # empty plan
+
+    def test_checkpointing_validation(self):
+        with pytest.raises(EngineError):
+            Checkpointing(interval=-1)
+        with pytest.raises(EngineError):
+            Checkpointing(retention=0)
+
+    def test_round_trip(self):
+        config = RunConfig(
+            engine="symple",
+            algorithm="kcore",
+            machines=8,
+            seed=9,
+            options=SympleOptions(degree_threshold=4),
+            faults=FaultPlan.dep_loss(0.25, seed=3),
+            checkpointing=Checkpointing(interval=2, retention=3),
+            executor="thread",
+            workers=2,
+            kcore_k=3,
+        )
+        payload = config.to_dict()
+        restored = RunConfig.from_dict(payload)
+        assert restored.to_dict() == payload
+        assert restored.options == config.options
+        assert restored.checkpointing == config.checkpointing
+        assert restored.faults.to_dict() == config.faults.to_dict()
+
+    def test_to_dict_serializes_executor_instance_as_kind(self):
+        ex = ThreadPoolExecutor(2)
+        try:
+            config = RunConfig(executor=ex)
+            assert config.to_dict()["executor"] == "thread"
+        finally:
+            ex.close()
+
+
+class TestSession:
+    def test_run_with_overrides(self, graph):
+        with Session(graph, RunConfig(machines=4, bfs_roots=1)) as session:
+            a = session.run()
+            b = session.run(algorithm="kcore", kcore_k=2)
+        assert a.algorithm == "bfs"
+        assert b.algorithm == "kcore"
+        assert a.num_machines == 4
+
+    def test_run_many(self, graph):
+        configs = [
+            RunConfig(machines=4, bfs_roots=1, seed=s) for s in (1, 2)
+        ]
+        with Session(graph) as session:
+            results = session.run_many(configs)
+        assert len(results) == 2
+
+    def test_partition_cache_reused(self, graph):
+        with Session(graph, RunConfig(machines=4, bfs_roots=1)) as session:
+            session.run()
+            first = dict(session._partitions)
+            session.run(algorithm="mis")
+            assert session._partitions == first
+
+    def test_closed_session_rejects_runs(self, graph):
+        session = Session(graph)
+        session.close()
+        with pytest.raises(EngineError):
+            session.run()
+
+    def test_caller_owned_executor_not_closed(self, graph):
+        ex = SerialExecutor()
+        closes = []
+        original_close = ex.close
+        ex.close = lambda: (closes.append(True), original_close())
+        config = RunConfig(machines=4, bfs_roots=1, executor=ex)
+        with Session(graph, config) as session:
+            session.run()
+        # the session must not close an executor it did not create
+        assert not closes
+        ex.close()
+
+    def test_parity_with_legacy_run_algorithm(self, graph):
+        with Session(graph) as session:
+            via_session = session.run(
+                RunConfig(
+                    engine="symple",
+                    algorithm="kcore",
+                    machines=4,
+                    seed=2,
+                    kcore_k=2,
+                    options=SympleOptions(degree_threshold=4),
+                )
+            )
+        with pytest.warns(DeprecationWarning):
+            via_legacy = run_algorithm(
+                "symple",
+                graph,
+                "kcore",
+                num_machines=4,
+                seed=2,
+                kcore_k=2,
+                options=SympleOptions(degree_threshold=4),
+            )
+        assert via_legacy.digest() == via_session.digest()
+
+    def test_digest_distinguishes_configs(self, graph):
+        with Session(graph, RunConfig(machines=4, bfs_roots=1)) as session:
+            assert session.run().digest() == session.run().digest()
+            assert session.run().digest() != session.run(seed=5).digest()
+
+
+class TestLegacyDeprecations:
+    def test_simple_positional_core_stays_silent(self, graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_algorithm("symple", graph, "bfs", 4, 1, bfs_roots=1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"options": SympleOptions()},
+            {"cost_model": None, "checkpoint_interval": 2},
+            {"obs": ObsHub()},
+            {"retention": 3},
+        ],
+        ids=["options", "checkpointing", "obs", "retention"],
+    )
+    def test_legacy_keywords_warn(self, graph, kwargs):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            run_algorithm(
+                "symple", graph, "kcore", 4, 1, kcore_k=2, **kwargs
+            )
+
+    def test_legacy_positional_pile_warns_and_maps(self, graph):
+        options = SympleOptions(degree_threshold=4)
+        with pytest.warns(DeprecationWarning, match="positional"):
+            # old order: options, cost_model, bfs_roots
+            legacy = run_algorithm(
+                "symple", graph, "bfs", 4, 1, options, None, 1
+            )
+        with pytest.warns(DeprecationWarning):
+            modern = run_algorithm(
+                "symple", graph, "bfs", 4, 1, bfs_roots=1,
+                options=options,
+            )
+        assert legacy.digest() == modern.digest()
+
+    def test_unknown_algorithm_still_value_error(self, graph):
+        # the wrapper's historical contract (RunConfig raises EngineError)
+        with pytest.raises(ValueError):
+            run_algorithm("symple", graph, "nope")
+
+    def test_make_engine_positional_options_warn(self, graph):
+        partition = OutgoingEdgeCut().partition(graph, 4)
+        with pytest.warns(DeprecationWarning):
+            engine = make_engine("symple", partition, 4, SympleOptions())
+        assert engine.kind == "symple"
+
+    def test_make_engine_rejects_options_for_non_symple(self, graph):
+        with pytest.raises(EngineError, match="SympleGraph knob"):
+            make_engine("gemini", graph, 4, options=SympleOptions())
+
+    def test_make_engine_validates_machine_count(self, graph):
+        with pytest.raises(EngineError):
+            make_engine("symple", graph, 0)
+
+    def test_removed_dep_loss_options_name_fault_plan(self):
+        with pytest.raises(EngineError, match="FaultPlan.dep_loss"):
+            SympleOptions(dep_loss_rate=0.1)

@@ -16,17 +16,20 @@ from repro.algorithms import bfs, kcore, mis
 from repro.engine import SympleGraphEngine, SympleOptions
 from repro.engine.dep import DepStore
 from repro.errors import EngineError
+from repro.fault import FaultController, FaultPlan
 from repro.graph import erdos_renyi, rmat, to_undirected
 from repro.partition import OutgoingEdgeCut
 
 
 def engine_with_loss(graph, rate, seed=0, machines=4):
-    options = SympleOptions(
-        degree_threshold=0, dep_loss_rate=rate, dep_loss_seed=seed
-    )
-    return SympleGraphEngine(
+    options = SympleOptions(degree_threshold=0)
+    engine = SympleGraphEngine(
         OutgoingEdgeCut().partition(graph, machines), options=options
     )
+    engine.attach_faults(
+        FaultController(FaultPlan.dep_loss(rate, seed=seed), machines)
+    )
+    return engine
 
 
 @pytest.fixture(scope="module")
@@ -108,11 +111,14 @@ class TestSavingsDegrade:
 
 
 class TestOptionValidation:
-    def test_rate_out_of_range_rejected(self):
-        with pytest.raises(EngineError):
-            SympleOptions(dep_loss_rate=1.5)
-        with pytest.raises(EngineError):
-            SympleOptions(dep_loss_rate=-0.1)
+    def test_removed_options_point_at_fault_plan(self):
+        with pytest.raises(EngineError, match="FaultPlan.dep_loss"):
+            SympleOptions(dep_loss_rate=0.5)
+        with pytest.raises(EngineError, match="FaultPlan.dep_loss"):
+            SympleOptions(dep_loss_seed=3)
 
-    def test_zero_rate_is_default(self):
-        assert SympleOptions().dep_loss_rate == 0.0
+    def test_plan_rate_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            FaultPlan.dep_loss(1.5)
+        with pytest.raises(Exception):
+            FaultPlan.dep_loss(-0.1)
