@@ -1,4 +1,10 @@
-"""Graph algorithms expressed as signal-slot vertex programs."""
+"""Graph algorithms expressed as signal-slot vertex programs.
+
+:data:`SIGNAL_UDFS` maps each algorithm name to its signal UDF(s) so
+static tooling — the ``repro verify`` subcommand, the
+:class:`~repro.api.Session` pre-flight gate — can find the exact
+functions a run would execute without importing engine internals.
+"""
 
 from repro.algorithms.alias import (
     AliasTable,
@@ -27,7 +33,22 @@ from repro.algorithms.sampling import (
 from repro.algorithms.scc import SCCResult, scc, scc_reach_signal
 from repro.algorithms.sssp import SSSPResult, sssp, sssp_signal
 
+#: algorithm name -> the signal UDF(s) its driver hands to the engine;
+#: the verification gate certifies exactly these before a run
+SIGNAL_UDFS = {
+    "bfs": (bottom_up_signal,),
+    "cc": (cc_signal,),
+    "kcore": (kcore_signal,),
+    "kmeans": (kmeans_signal,),
+    "mis": (mis_signal,),
+    "pagerank": (pagerank_signal,),
+    "sampling": (sampling_signal,),
+    "scc": (scc_reach_signal,),
+    "sssp": (sssp_signal,),
+}
+
 __all__ = [
+    "SIGNAL_UDFS",
     "bfs",
     "bottom_up_signal",
     "BFSResult",

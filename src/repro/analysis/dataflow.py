@@ -97,7 +97,16 @@ class _Names(ast.NodeVisitor):
         inner = _Names()
         for child in ast.iter_child_nodes(node):
             inner.visit(child)
-        bound = set(inner.stores)
+        # Only the comprehension's own for-targets are scoped out.
+        # Walrus targets (PEP 572) bind in the *enclosing* function
+        # scope and must surface as definitions here; nested
+        # comprehensions have already scoped out their own targets.
+        bound = set()
+        for gen in node.generators:
+            for t in ast.walk(gen.target):
+                if isinstance(t, ast.Name):
+                    bound.add(t.id)
+        self.stores.extend(n for n in inner.stores if n not in bound)
         self.loads.extend(n for n in inner.loads if n not in bound)
 
     visit_ListComp = _comprehension
@@ -126,8 +135,10 @@ def _defs_uses(instr: Instr) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
     node = instr.node
     if instr.kind == "for-header":
         defs, _ = _collect(node.target)
-        _, uses = _collect(node.iter)
-        return defs, uses
+        # a walrus in the iterable (`for w in (ws := f())`) defines a
+        # name too — collect stores from both sides
+        iter_defs, uses = _collect(node.iter)
+        return defs + iter_defs, uses
     if instr.kind == "test":
         defs, uses = _collect(node)
         return defs, uses
@@ -135,7 +146,8 @@ def _defs_uses(instr: Instr) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
         defs: List[str] = []
         uses: List[str] = []
         for item in node.items:
-            _, u = _collect(item.context_expr)
+            d, u = _collect(item.context_expr)
+            defs.extend(d)
             uses.extend(u)
             if item.optional_vars is not None:
                 d, _ = _collect(item.optional_vars)

@@ -113,7 +113,9 @@ def signal_effects(sig: SignalAst) -> List[Effect]:
                     node,
                 )
             )
-        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        elif isinstance(
+            node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.NamedExpr)
+        ):
             targets = (
                 node.targets if isinstance(node, ast.Assign) else [node.target]
             )
@@ -134,6 +136,16 @@ def _write_effects(target: ast.expr, params: set) -> Iterator[Effect]:
         return
     if isinstance(target, ast.Starred):
         yield from _write_effects(target.value, params)
+        return
+    if isinstance(target, ast.Name):
+        if target.id in params:
+            yield Effect(
+                "state-mutation",
+                f"rebinds parameter {target.id!r}; shadowing the shared "
+                "state handle (or emit) inside the signal hides which "
+                "object later writes reach — use a fresh local name",
+                target,
+            )
         return
     if isinstance(target, (ast.Attribute, ast.Subscript)):
         root = _root_name(target)

@@ -26,7 +26,15 @@ global-write            warning   ``global``/``nonlocal`` declarations
 state-mutation          warning   writes through parameters/shared state
 nondet-call             warning   module-level RNG/clock calls
 non-commutative-slot    note      unguarded overwrite in a slot UDF
+mutable-capture         warning   closure capture of a mutable global
+unordered-iteration     warning   iterating a hash-ordered set
 ======================  ========  ==========================================
+
+The last two live in :mod:`repro.analysis.verify.determinism` (the
+executor-safety analyzer) and register here on import.  Under
+:func:`strict_config` — used by ``repro lint --strict`` and the
+``verify="strict"`` run mode — ``non-commutative-slot`` is promoted
+from note to warning so it affects the exit code.
 """
 
 from __future__ import annotations
@@ -55,6 +63,8 @@ __all__ = [
     "iter_rules",
     "lint_signal",
     "lint_slot",
+    "strict_config",
+    "STRICT_OVERRIDES",
 ]
 
 LEVELS = ("error", "warning", "note")
@@ -106,6 +116,25 @@ class LintConfig:
             return None
         level = self.overrides.get(code, default)
         return None if level == "off" else level
+
+
+# severities promoted under --strict: rules whose default level is
+# advisory but whose finding should gate CI when the user opts in
+STRICT_OVERRIDES: Dict[str, str] = {
+    "non-commutative-slot": "warning",
+}
+
+
+def strict_config(base: Optional[LintConfig] = None) -> LintConfig:
+    """A :class:`LintConfig` with the strict promotions applied.
+
+    Explicit overrides in ``base`` win over the strict defaults, so a
+    user can still demote a rule under ``--strict``.
+    """
+    base = base or LintConfig()
+    overrides = dict(STRICT_OVERRIDES)
+    overrides.update(base.overrides)
+    return LintConfig(overrides=overrides, disabled=base.disabled)
 
 
 @dataclass
@@ -441,18 +470,71 @@ def lint_signal(
     return _run_rules(ctx.sig, lambda spec: spec.check(ctx), config)
 
 
+# in-place update operators whose repeated application commutes (so
+# message arrival order cannot change the final state value)
+_COMMUTATIVE_SLOT_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.BitOr,
+    ast.BitAnd,
+    ast.BitXor,
+)
+
+
+def _slot_fold_commutes(target: ast.expr, value: ast.expr) -> bool:
+    """Is ``target = value`` a spelled-out commutative fold?
+
+    ``s.x[v] = s.x[v] + e`` (either operand order for the commutative
+    operators, left only for ``-``) and ``s.x[v] = min/max(s.x[v], e)``
+    are the plain-assignment forms of ``+=``/min-fold updates and are
+    just as order-safe.
+    """
+    # unparse, not dump: dump() embeds the Load/Store ctx, which always
+    # differs between the assignment target and the operand reading it
+    tsrc = ast.unparse(target)
+    if isinstance(value, ast.BinOp) and isinstance(
+        value.op, _COMMUTATIVE_SLOT_OPS
+    ):
+        if ast.unparse(value.left) == tsrc:
+            return True
+        return not isinstance(value.op, ast.Sub) and (
+            ast.unparse(value.right) == tsrc
+        )
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("min", "max")
+    ):
+        return any(ast.unparse(arg) == tsrc for arg in value.args)
+    return False
+
+
 def lint_slot(fn: Callable, config: Optional[LintConfig] = None) -> List[LintMessage]:
     """Lint a slot UDF for the non-commutative-overwrite hazard.
 
     Messages from different machines arrive in nondeterministic order,
-    so a slot that plain-assigns into per-vertex state with no guard
-    (no comparison ``if``, no first-wins early return) is only correct
-    when the update commutes.  Flagged as ``non-commutative-slot``
-    (note): the linter cannot prove non-commutativity, only that
-    nothing in the slot enforces an order.
+    so a slot that writes into per-vertex state with no guard (no
+    comparison ``if``, no first-wins early return) is only correct
+    when the update commutes.  Plain assigns are flagged unless they
+    spell out a commutative fold (``s.x[v] = s.x[v] + e``,
+    ``min``/``max``); augmented assigns are flagged when their operator
+    does not commute under reordering (``//=``, ``%=``, ``**=``, ...).
+    Flagged as ``non-commutative-slot`` (note by default, warning
+    under :func:`strict_config`): the linter cannot prove
+    non-commutativity, only that nothing in the slot enforces an
+    order.
     """
     sig = parse_signal(fn)
     state_params = set(sig.params[2:]) or {sig.params[-1]}
+
+    def _state_subscript(target: ast.expr) -> bool:
+        return (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and isinstance(target.value.value, ast.Name)
+            and target.value.value.id in state_params
+        )
 
     def check(spec: Rule) -> Iterator[Finding]:
         if spec.code != "non-commutative-slot":
@@ -461,21 +543,31 @@ def lint_slot(fn: Callable, config: Optional[LintConfig] = None) -> List[LintMes
         for stmt in sig.func.body:
             if isinstance(stmt, ast.If):
                 guarded = True  # comparison guard or first-wins return
-            if guarded or not isinstance(stmt, ast.Assign):
+            if guarded:
                 continue
-            for target in stmt.targets:
-                if (
-                    isinstance(target, ast.Subscript)
-                    and isinstance(target.value, ast.Attribute)
-                    and isinstance(target.value.value, ast.Name)
-                    and target.value.value.id in state_params
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if _state_subscript(target) and not _slot_fold_commutes(
+                        target, stmt.value
+                    ):
+                        yield (
+                            f"slot overwrites {ast.unparse(target)} with no "
+                            "guard; message arrival order is nondeterministic "
+                            "across machines, so a plain overwrite is only "
+                            "safe if the update commutes — guard with a "
+                            "comparison or fold with +=/min/max",
+                            stmt,
+                        )
+            elif isinstance(stmt, ast.AugAssign):
+                if _state_subscript(stmt.target) and not isinstance(
+                    stmt.op, _COMMUTATIVE_SLOT_OPS
                 ):
                     yield (
-                        f"slot overwrites {ast.unparse(target)} with no "
-                        "guard; message arrival order is nondeterministic "
-                        "across machines, so a plain overwrite is only "
-                        "safe if the update commutes — guard with a "
-                        "comparison or fold with +=/min/max",
+                        f"slot folds {ast.unparse(stmt.target)} with "
+                        f"non-commutative operator "
+                        f"{type(stmt.op).__name__}; message arrival order "
+                        "is nondeterministic across machines — use "
+                        "+=/min/max or guard with a comparison",
                         stmt,
                     )
 
@@ -522,3 +614,10 @@ def _run_rules(
             )
     messages.sort(key=lambda m: (_LEVEL_ORDER.get(m.level, 3), m.lineno, m.code))
     return messages
+
+
+# Importing the determinism module registers the executor-safety rules
+# (mutable-capture, unordered-iteration) in this module's registry.  It
+# lives at the bottom because determinism.py imports Finding/LintContext
+# /rule from here; by this point every name it needs is defined.
+from repro.analysis.verify import determinism as _determinism  # noqa: E402,F401

@@ -1,0 +1,466 @@
+"""Kernel-contract certification: re-derive what the classifier assumed.
+
+The classifier in :mod:`repro.analysis.kernelspec` pattern-matches a
+UDF against four shapes and, on a match, the engines execute a batched
+NumPy kernel *instead of* the UDF.  That substitution is only sound if
+the UDF really has the properties the shape's kernel exploits — pure
+reads, order-insensitive folds, declared effect sets.  This module
+re-derives those properties **independently** from the abstract
+interpretation summary (:mod:`repro.analysis.verify.interp`) and
+cross-checks every classification: :func:`certify_spec` either returns
+the summary it certified against, or raises
+:class:`~repro.errors.KernelSoundnessError` carrying the violated
+obligation id and the program point (``file:line``) it was refuted at.
+
+Obligations common to every shape:
+
+``purity``           no side effects or nondeterministic calls
+``carried-exact``    the spec's carried variables equal the analyzer's
+``reads-declared``   every state field read appears in the spec's
+                     ``arrays``/``scalars`` (the kernel preloads them)
+``index-domain``     array reads index only the loop variable or the
+                     destination vertex
+``emit-arity``       every emit call passes exactly one positional arg
+``emit-numeric``     every emitted value has a numeric abstract type
+
+Per-shape obligations (each contract documents its own).  The spec is
+an explicit argument so mutation tests can pair a tampered UDF with a
+pristine classification — certification never trusts the classifier it
+is checking.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.ast_analysis import DependencyInfo, SignalAst
+from repro.analysis.kernelspec import (
+    COUNT_TO_K_BREAK,
+    FIRST_MATCH_BREAK,
+    FULL_SCAN_MIN,
+    FULL_SCAN_SUM,
+    KernelSpec,
+)
+from repro.analysis.verify.domain import FoldKind, is_numeric
+from repro.analysis.verify.interp import UdfSummary, summarize
+from repro.errors import KernelSoundnessError
+
+__all__ = ["CONTRACTS", "certify_spec", "contract_kinds", "uncontracted_kernels"]
+
+
+class _Certifier:
+    """Shared obligation helpers bound to one (summary, spec) pair."""
+
+    def __init__(self, summary: UdfSummary, spec: KernelSpec) -> None:
+        self.summary = summary
+        self.spec = spec
+        self.sig = summary.sig
+
+    def fail(self, message: str, obligation: str, node: Optional[ast.AST]) -> None:
+        point = self.sig.location(node) if node is not None else ""
+        raise KernelSoundnessError(
+            message, obligation=obligation, program_point=point
+        )
+
+    # -- common obligations --------------------------------------------
+
+    def check_common(self) -> None:
+        s = self.summary
+        for effect in s.effects:
+            self.fail(
+                f"UDF has side effects ({effect.kind}: {effect.detail})",
+                "purity",
+                effect.node,
+            )
+        if tuple(self.spec.carried_vars) != tuple(s.info.carried_vars):
+            self.fail(
+                f"spec carries {tuple(self.spec.carried_vars)} but the "
+                f"dataflow analysis derives {tuple(s.info.carried_vars)}",
+                "carried-exact",
+                s.sig.loop,
+            )
+        arrays = set(self.spec.arrays)
+        scalars = set(self.spec.scalars)
+        loop_var = s.info.loop_var
+        v_name = s.sig.params[0] if s.sig.params else None
+        for read in s.state_reads:
+            declared = arrays if read.kind == "array" else scalars
+            if read.attr not in declared:
+                self.fail(
+                    f"UDF reads state {read.kind} {read.attr!r} that the "
+                    f"spec does not declare (arrays={self.spec.arrays}, "
+                    f"scalars={self.spec.scalars})",
+                    "reads-declared",
+                    read.node,
+                )
+            if read.kind == "array" and read.index not in (loop_var, v_name):
+                self.fail(
+                    f"array read {read.attr!r} indexed by "
+                    f"{read.index or '<expr>'!s}; kernels can only batch "
+                    "reads indexed by the loop variable or the "
+                    "destination vertex",
+                    "index-domain",
+                    read.node,
+                )
+        for site in s.emits:
+            if len(site.node.args) != 1 or site.node.keywords:
+                self.fail(
+                    "emit must be called with exactly one positional "
+                    "argument",
+                    "emit-arity",
+                    site.node,
+                )
+            t = s.type_of_expr(site.node.args[0])
+            if not is_numeric(t):
+                self.fail(
+                    f"emitted value has abstract type {t!r}; kernels "
+                    "batch numeric emissions only",
+                    "emit-numeric",
+                    site.node,
+                )
+
+    # -- shared shape fragments ----------------------------------------
+
+    def single_fold(self, expected: Tuple[str, ...], obligation: str) -> str:
+        """Exactly one carried variable with one of ``expected`` folds."""
+        s = self.summary
+        if len(s.info.carried_vars) != 1:
+            self.fail(
+                f"shape {self.spec.kind!r} requires exactly one carried "
+                f"variable, found {tuple(s.info.carried_vars)}",
+                obligation,
+                s.sig.loop,
+            )
+        var = s.info.carried_vars[0]
+        fold = s.fold_of(var)
+        if fold not in expected:
+            site = (s.fold_sites.get(var) or [s.sig.loop])[0]
+            self.fail(
+                f"carried variable {var!r} folds as {fold!r} inside the "
+                f"loop; shape {self.spec.kind!r} requires "
+                f"{' or '.join(repr(e) for e in expected)} "
+                "(an order-insensitive reduction)",
+                obligation,
+                site,
+            )
+        return var
+
+    def no_break(self) -> None:
+        s = self.summary
+        if s.breaks:
+            self.fail(
+                f"shape {self.spec.kind!r} scans every neighbor; a break "
+                "makes the fold depend on scan order and machine count",
+                "no-break",
+                s.breaks[0].node,
+            )
+
+    def single_post_emit(self, obligation: str):
+        """Exactly one emit, post-loop and guarded; returns the site."""
+        s = self.summary
+        sites = list(s.emits)
+        if len(sites) != 1 or sites[0].region != "post":
+            node = sites[0].node if sites else s.sig.loop
+            self.fail(
+                f"shape {self.spec.kind!r} emits exactly once, after the "
+                f"loop; found {len(sites)} emit(s) "
+                f"({', '.join(x.region for x in sites) or 'none'})",
+                obligation,
+                node,
+            )
+        site = sites[0]
+        if not site.guarded:
+            self.fail(
+                "the post-loop emit must be guarded; an unconditional "
+                "emit fires once per machine chunk and double-delivers",
+                obligation,
+                site.node,
+            )
+        return site
+
+    def snapshot_of(self, var: str) -> Optional[str]:
+        """Name of a pre-loop snapshot of ``var`` (``snap = var``)."""
+        s = self.summary
+        if s.sig.loop_index < 0:
+            return None
+        for stmt in s.sig.func.body[: s.sig.loop_index]:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Name)
+                and stmt.value.id == var
+            ):
+                snap = stmt.targets[0].id
+                if s.fold_of(snap) == FoldKind.NONE:
+                    return snap
+        return None
+
+    def check_delta_emit(self, var: str, obligation: str) -> None:
+        """Post emit is ``if var > snap: emit(var - snap)``."""
+        site = self.single_post_emit(obligation)
+        snap = self.snapshot_of(var)
+        if snap is None:
+            self.fail(
+                f"no pre-loop snapshot of {var!r} found (``start = "
+                f"{var}`` before the loop, unmodified inside it); the "
+                "delta idiom needs one to avoid double-counting on "
+                "resume",
+                obligation,
+                self.sig.loop,
+            )
+        arg = site.node.args[0]
+        if not (
+            isinstance(arg, ast.BinOp)
+            and isinstance(arg.op, ast.Sub)
+            and isinstance(arg.left, ast.Name)
+            and arg.left.id == var
+            and isinstance(arg.right, ast.Name)
+            and arg.right.id == snap
+        ):
+            self.fail(
+                f"emitted value must be the delta {var} - {snap}; "
+                f"found emit({ast.unparse(arg)})",
+                obligation,
+                site.node,
+            )
+        guard = site.guards[-1]
+        if not (
+            isinstance(guard, ast.Compare)
+            and len(guard.ops) == 1
+            and isinstance(guard.ops[0], ast.Gt)
+            and isinstance(guard.left, ast.Name)
+            and guard.left.id == var
+            and isinstance(guard.comparators[0], ast.Name)
+            and guard.comparators[0].id == snap
+        ):
+            self.fail(
+                f"the delta emit must be guarded by {var} > {snap} so a "
+                "resumed machine emits nothing when it added nothing",
+                obligation,
+                site.node,
+            )
+
+
+# -- per-shape contracts -----------------------------------------------
+
+
+def _certify_first_match(c: _Certifier) -> None:
+    """``first_match_break``: scan to the first satisfying neighbor.
+
+    Obligations: ``no-carried`` (no data dependency — resuming from a
+    predecessor needs nothing but the break bit), ``no-folds`` (no
+    variable is updated across iterations), ``break-present`` and
+    ``emit-then-break`` (exactly one guarded in-loop emit, immediately
+    followed by the break, so at most one value is ever delivered)."""
+    s = c.summary
+    if s.info.carried_vars:
+        c.fail(
+            f"first-match kernels carry no data, but "
+            f"{tuple(s.info.carried_vars)} is loop-carried",
+            "no-carried",
+            s.sig.loop,
+        )
+    for var, fold in sorted(s.folds.items()):
+        if fold != FoldKind.NONE:
+            c.fail(
+                f"variable {var!r} is updated inside the loop "
+                f"({fold!r}); the first-match kernel evaluates a pure "
+                "predicate per neighbor and cannot reproduce it",
+                "no-folds",
+                (s.fold_sites.get(var) or [s.sig.loop])[0],
+            )
+    if not s.breaks:
+        c.fail(
+            "first-match kernels stop at the first hit; this UDF never "
+            "breaks",
+            "break-present",
+            s.sig.loop,
+        )
+    loop_emits = [e for e in s.emits if e.region == "loop"]
+    other = [e for e in s.emits if e.region != "loop"]
+    if other:
+        c.fail(
+            "first-match kernels emit only inside the loop; found an "
+            f"emit in the {other[0].region!r} region",
+            "emit-then-break",
+            other[0].node,
+        )
+    if len(loop_emits) != 1:
+        c.fail(
+            f"first-match kernels emit exactly once; found "
+            f"{len(loop_emits)} in-loop emit(s)",
+            "emit-then-break",
+            loop_emits[0].node if loop_emits else s.sig.loop,
+        )
+    site = loop_emits[0]
+    if not site.guarded or not site.followed_by_break:
+        c.fail(
+            "the in-loop emit must be guarded and immediately followed "
+            "by break (emit-then-break); otherwise the kernel's "
+            "first-hit semantics diverge from the UDF",
+            "emit-then-break",
+            site.node,
+        )
+
+
+def _certify_count_to_k(c: _Certifier) -> None:
+    """``count_to_k_break``: saturating counter (K-core's shape).
+
+    Obligations: ``fold-count`` (the single carried variable is a pure
+    ``+= 1`` counter — the kernel reproduces it with a vectorized
+    cumulative sum), ``saturation-guard`` (every break fires on
+    ``cnt >= T`` with ``T`` loop-invariant, so saturation commutes with
+    chunking), ``delta-emit`` (the guarded post-loop delta idiom)."""
+    s = c.summary
+    var = c.single_fold((FoldKind.COUNT,), "fold-count")
+    if not s.breaks:
+        c.fail(
+            "count-to-k kernels saturate via break; this UDF never "
+            "breaks (classify as full_scan_sum instead)",
+            "saturation-guard",
+            s.sig.loop,
+        )
+    for brk in s.breaks:
+        guard = brk.guard
+        ok = (
+            guard is not None
+            and isinstance(guard, ast.Compare)
+            and len(guard.ops) == 1
+            and isinstance(guard.ops[0], ast.GtE)
+            and isinstance(guard.left, ast.Name)
+            and guard.left.id == var
+            and s.is_loop_invariant(guard.comparators[0])
+        )
+        if not ok:
+            c.fail(
+                f"break must be guarded by {var} >= <loop-invariant "
+                "threshold>; anything else breaks the kernel's "
+                "saturation arithmetic",
+                "saturation-guard",
+                brk.node,
+            )
+    c.check_delta_emit(var, "delta-emit")
+
+
+def _certify_full_scan_sum(c: _Certifier) -> None:
+    """``full_scan_sum``: commutative accumulation over every neighbor.
+
+    Obligations: ``fold-sum`` (the carried variable is a count/sum
+    fold — the kernel computes it with one vectorized reduction, in a
+    different order than the UDF's scan, which is only sound for
+    commutative/associative updates), ``no-break`` (a break would make
+    the partial sums chunk-dependent), ``delta-emit``."""
+    var = c.single_fold((FoldKind.SUM, FoldKind.COUNT), "fold-sum")
+    c.no_break()
+    c.check_delta_emit(var, "delta-emit")
+
+
+def _certify_full_scan_min(c: _Certifier) -> None:
+    """``full_scan_min``: idempotent extremum fold (CC's shape).
+
+    Obligations: ``fold-min`` (the carried variable is a min fold —
+    idempotent and commutative, so the kernel's vectorized minimum
+    matches any scan order), ``no-break``, ``improvement-emit`` (one
+    post-loop emit of the fold variable, guarded by ``best < init``
+    with ``init`` the same expression the fold started from, so an
+    unimproved vertex emits nothing)."""
+    s = c.summary
+    var = c.single_fold((FoldKind.MIN,), "fold-min")
+    c.no_break()
+    site = c.single_post_emit("improvement-emit")
+    arg = site.node.args[0]
+    if not (isinstance(arg, ast.Name) and arg.id == var):
+        c.fail(
+            f"the improvement emit must deliver the fold variable "
+            f"{var!r}; found emit({ast.unparse(arg)})",
+            "improvement-emit",
+            site.node,
+        )
+    init_expr = None
+    if s.sig.loop_index >= 0:
+        for stmt in s.sig.func.body[: s.sig.loop_index]:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == var
+            ):
+                init_expr = stmt.value
+    if init_expr is None:
+        c.fail(
+            f"no pre-loop initialization of {var!r} found",
+            "improvement-emit",
+            s.sig.loop,
+        )
+    guard = site.guards[-1]
+    if not (
+        isinstance(guard, ast.Compare)
+        and len(guard.ops) == 1
+        and isinstance(guard.ops[0], ast.Lt)
+        and isinstance(guard.left, ast.Name)
+        and guard.left.id == var
+        and ast.dump(guard.comparators[0]) == ast.dump(init_expr)
+    ):
+        c.fail(
+            f"the improvement emit must be guarded by {var} < "
+            f"{ast.unparse(init_expr)} (the fold's initial value); an "
+            "unimproved vertex must emit nothing",
+            "improvement-emit",
+            site.node,
+        )
+
+
+CONTRACTS: Dict[str, Callable[[_Certifier], None]] = {
+    FIRST_MATCH_BREAK: _certify_first_match,
+    COUNT_TO_K_BREAK: _certify_count_to_k,
+    FULL_SCAN_SUM: _certify_full_scan_sum,
+    FULL_SCAN_MIN: _certify_full_scan_min,
+}
+
+
+def contract_kinds() -> Tuple[str, ...]:
+    """Kernel kinds the certifier has a contract for, sorted."""
+    return tuple(sorted(CONTRACTS))
+
+
+def uncontracted_kernels() -> Tuple[str, ...]:
+    """Registered kernel kinds with *no* certification contract.
+
+    A kernel registered behind the engines' dispatch that the
+    certifier cannot check is a soundness hole — ``repro verify``
+    surfaces these as warnings.
+    """
+    from repro.kernels.registry import available_kernels
+
+    return tuple(k for k in available_kernels() if k not in CONTRACTS)
+
+
+def certify_spec(
+    sig: SignalAst,
+    info: DependencyInfo,
+    spec: KernelSpec,
+    summary: Optional[UdfSummary] = None,
+) -> UdfSummary:
+    """Certify that ``spec`` is a sound classification of ``sig``.
+
+    Raises :class:`~repro.errors.KernelSoundnessError` (with the
+    violated obligation and a cited program point) when the UDF's
+    abstractly-derived effects exceed the shape's contract; returns the
+    :class:`UdfSummary` it certified against otherwise.  No UDF or
+    kernel code is executed in either direction.
+    """
+    if summary is None:
+        summary = summarize(sig, info)
+    certifier = _Certifier(summary, spec)
+    contract = CONTRACTS.get(spec.kind)
+    if contract is None:
+        certifier.fail(
+            f"no certification contract for kernel kind {spec.kind!r}",
+            "unknown-kind",
+            sig.func,
+        )
+    certifier.check_common()
+    contract(certifier)
+    return summary

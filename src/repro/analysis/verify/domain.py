@@ -1,0 +1,186 @@
+"""Abstract domains for the UDF soundness certifier.
+
+Two small lattices power the abstract interpreter in
+:mod:`repro.analysis.verify.interp`:
+
+* a **type lattice** over the values a signal UDF computes::
+
+      BOTTOM < BOOL < INT < NUM < TOP
+      BOTTOM < FLOAT < NUM < TOP
+      BOTTOM < OBJECT < TOP
+
+  ``NUM`` is "some number, int or float"; ``OBJECT`` covers the opaque
+  parameter handles (state namespace, neighbor view, emit callback)
+  and anything structured.  The join of a number and an object is
+  ``TOP`` — a value the certifier refuses to emit.
+
+* a **fold lattice** classifying how a variable is updated inside the
+  neighbor loop, ordered by how much reordering the update tolerates::
+
+      NONE < COUNT < SUM < OPAQUE
+      NONE < MIN|MAX|OVERWRITE < OPAQUE
+
+  ``COUNT`` (``cnt += 1``), ``SUM`` (commutative/associative
+  accumulation), ``MIN``/``MAX`` (idempotent extremum folds) are
+  *order-insensitive*: evaluating the neighbor sequence in any order,
+  or resuming from a predecessor machine's carried value, produces the
+  same result.  ``OVERWRITE`` (last writer wins) and ``OPAQUE``
+  (anything the interpreter cannot prove) are order-sensitive and
+  disqualify a variable from the batched-kernel contracts.
+
+The containers at the bottom (:class:`StateRead`, :class:`EmitSite`,
+:class:`BreakSite`) are the effect facts the interpreter derives and
+the contract certifier consumes; each keeps the AST node it was
+derived from so violations cite a program point.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "BOTTOM",
+    "BOOL",
+    "INT",
+    "FLOAT",
+    "NUM",
+    "OBJECT",
+    "TOP",
+    "type_join",
+    "is_numeric",
+    "FoldKind",
+    "fold_join",
+    "StateRead",
+    "EmitSite",
+    "BreakSite",
+]
+
+# -- type lattice ------------------------------------------------------
+
+BOTTOM = "bottom"
+BOOL = "bool"
+INT = "int"
+FLOAT = "float"
+NUM = "num"
+OBJECT = "object"
+TOP = "top"
+
+# every strictly-above element per lattice point (reflexivity implied)
+_ABOVE = {
+    BOTTOM: {BOOL, INT, FLOAT, NUM, OBJECT, TOP},
+    BOOL: {INT, NUM, TOP},
+    INT: {NUM, TOP},
+    FLOAT: {NUM, TOP},
+    NUM: {TOP},
+    OBJECT: {TOP},
+    TOP: set(),
+}
+
+
+def _leq(a: str, b: str) -> bool:
+    return a == b or b in _ABOVE[a]
+
+
+def type_join(a: str, b: str) -> str:
+    """Least upper bound of two abstract types."""
+    if _leq(a, b):
+        return b
+    if _leq(b, a):
+        return a
+    # distinct numerics join to NUM; anything mixed with OBJECT to TOP
+    if is_numeric(a) and is_numeric(b):
+        return NUM
+    return TOP
+
+
+def is_numeric(t: str) -> bool:
+    """Is ``t`` at or below ``NUM`` (excluding bottom)?"""
+    return t in (BOOL, INT, FLOAT, NUM)
+
+
+class FoldKind:
+    """Loop-update classification constants (see module docstring)."""
+
+    NONE = "none"
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    OVERWRITE = "overwrite"
+    OPAQUE = "opaque"
+
+    ORDER_INSENSITIVE = frozenset({"none", "count", "sum", "min", "max"})
+
+
+def fold_join(a: str, b: str) -> str:
+    """Join two fold classifications of the same variable.
+
+    ``NONE`` is the identity; a counter joined with a general sum is a
+    sum (``cnt += 1`` and ``cnt += w`` on different paths still
+    commute); everything else only joins with itself — mixing, say, a
+    min-fold with an overwrite proves nothing, hence ``OPAQUE``.
+    """
+    if a == b:
+        return a
+    if a == FoldKind.NONE:
+        return b
+    if b == FoldKind.NONE:
+        return a
+    if {a, b} == {FoldKind.COUNT, FoldKind.SUM}:
+        return FoldKind.SUM
+    return FoldKind.OPAQUE
+
+
+# -- derived effect facts ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class StateRead:
+    """One read through the state parameter.
+
+    ``kind`` is ``"array"`` for a subscripted field (``s.rank[u]``,
+    read per-element) or ``"scalar"`` for a bare attribute (``s.k``);
+    ``index`` is the subscript variable name for array reads (``None``
+    when the index is not a simple name — the certifier rejects those).
+    """
+
+    attr: str
+    kind: str  # "array" | "scalar"
+    index: Optional[str]
+    node: ast.AST = field(compare=False, hash=False)
+
+
+@dataclass(frozen=True)
+class EmitSite:
+    """One call of the emit parameter.
+
+    ``region`` locates the call relative to the neighbor loop
+    (``"pre"``/``"loop"``/``"post"``); ``guards`` is the stack of
+    enclosing ``if`` tests (innermost last); ``followed_by_break`` is
+    True when the statement immediately after the emit is ``break``.
+    """
+
+    node: ast.Call = field(compare=False, hash=False)
+    region: str
+    guards: Tuple[ast.expr, ...] = field(compare=False, hash=False)
+    followed_by_break: bool = False
+
+    @property
+    def guarded(self) -> bool:
+        """Is the call conditional on at least one test?"""
+        return bool(self.guards)
+
+
+@dataclass(frozen=True)
+class BreakSite:
+    """One ``break`` inside the neighbor loop, with its guard stack."""
+
+    node: ast.AST = field(compare=False, hash=False)
+    guards: Tuple[ast.expr, ...] = field(compare=False, hash=False)
+
+    @property
+    def guard(self) -> Optional[ast.expr]:
+        """Innermost enclosing test, or ``None`` (unconditional break)."""
+        return self.guards[-1] if self.guards else None

@@ -26,11 +26,12 @@ around this module.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.engine import SympleOptions, make_engine
-from repro.errors import EngineError, UnsupportedAlgorithmError
+from repro.errors import EngineError, UnsupportedAlgorithmError, VerificationError
 from repro.exec import EXECUTOR_KINDS, Executor, make_executor
 from repro.fault import FaultPlan
 from repro.graph.csr import CSRGraph
@@ -42,6 +43,7 @@ __all__ = ["Checkpointing", "RunConfig", "Session"]
 _ENGINE_KINDS = ("gemini", "symple", "dgalois", "single")
 _ALGORITHMS = ("bfs", "kcore", "mis", "kmeans", "sampling")
 _RESUMABLE = ("bfs", "kcore", "mis")
+_VERIFY_MODES = ("off", "warn", "strict")
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,7 @@ class RunConfig:
     executor: Any = "serial"
     workers: Optional[int] = None
     cost_model: Optional[CostModel] = None
+    verify: str = "off"
     bfs_roots: int = 3
     kcore_k: int = 8
     kmeans_rounds: int = 2
@@ -123,6 +126,11 @@ class RunConfig:
         if self.workers is not None and self.workers < 1:
             raise EngineError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.verify not in _VERIFY_MODES:
+            raise EngineError(
+                f"unknown verify mode {self.verify!r}; "
+                f"expected one of {_VERIFY_MODES}"
             )
         if self.faulted and self.algorithm not in _RESUMABLE:
             raise UnsupportedAlgorithmError(
@@ -169,6 +177,7 @@ class RunConfig:
             },
             "executor": executor,
             "workers": self.workers,
+            "verify": self.verify,
             "bfs_roots": self.bfs_roots,
             "kcore_k": self.kcore_k,
             "kmeans_rounds": self.kmeans_rounds,
@@ -204,6 +213,7 @@ class Session:
         self.config = config if config is not None else RunConfig()
         self._partitions: Dict[Tuple[str, int], Partition] = {}
         self._executors: Dict[Tuple[str, Optional[int]], Executor] = {}
+        self._verified: Set[Tuple[str, str]] = set()
         self._closed = False
 
     # -- cached artifacts -------------------------------------------------
@@ -235,6 +245,49 @@ class Session:
             self._executors[key] = ex
         return ex
 
+    def _preflight(self, config: RunConfig) -> None:
+        """Statically verify the run's signal UDFs before executing.
+
+        ``verify="warn"`` downgrades problems to a ``RuntimeWarning``;
+        ``verify="strict"`` additionally promotes the strict lint
+        severities and refuses the run with
+        :class:`~repro.errors.VerificationError`.  Verdicts are purely
+        static and cached per (algorithm, mode) for the session's
+        lifetime — repeated runs pay for the analysis once.
+        """
+        if config.verify == "off":
+            return
+        key = (config.algorithm, config.verify)
+        if key in self._verified:
+            return
+        # imported lazily: the analysis stack is a tooling dependency,
+        # not something every execution-only session should pay for
+        from repro.algorithms import SIGNAL_UDFS
+        from repro.analysis.verify import verify_signal
+
+        strict = config.verify == "strict"
+        problems: List[str] = []
+        for fn in SIGNAL_UDFS.get(config.algorithm, ()):
+            verdict = verify_signal(fn, strict=strict)
+            for msg in verdict.messages:
+                if msg.level == "error" or (
+                    strict and msg.level == "warning"
+                ):
+                    problems.append(f"{msg.code}: {msg.message}")
+        if problems:
+            detail = "; ".join(problems)
+            if strict:
+                raise VerificationError(
+                    f"verify='strict' refused to run "
+                    f"{config.algorithm!r}: {detail}"
+                )
+            warnings.warn(
+                f"verify='warn': {config.algorithm!r}: {detail}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        self._verified.add(key)
+
     # -- execution --------------------------------------------------------
 
     def run(self, config: Optional[RunConfig] = None,
@@ -261,6 +314,7 @@ class Session:
         # wrapper, so the dependency must stay one-way at import time
         from repro.bench.harness import _run_session_config
 
+        self._preflight(config)
         target = self._partition(config)
         engine = make_engine(
             config.engine,
@@ -269,6 +323,7 @@ class Session:
             options=config.options,
             obs=config.obs,
             executor=self._executor(config),
+            verify=config.verify,
         )
         return _run_session_config(engine, self.graph, config)
 

@@ -8,6 +8,7 @@ Run experiments and inspect the framework without writing code::
     python -m repro compare --dataset s28 --algorithm kcore --machines 16
     python -m repro analyze bfs
     python -m repro lint src/repro/algorithms --format sarif
+    python -m repro verify src/repro/algorithms --strict
     python -m repro metrics --algorithm bfs --format prom
     python -m repro trace run.jsonl --breakdown
 
@@ -17,7 +18,10 @@ event trace / a metrics export); ``compare`` runs Gemini and
 SympleGraph side by side; ``analyze`` prints the analyzer report for
 one of the built-in UDFs; ``lint`` runs the rule engine over
 signal/slot UDFs and exits 1 on warnings, 2 on errors (notes are
-informational); ``metrics`` runs one experiment and exports its metric
+informational); ``verify`` additionally certifies every kernel
+classification against its shape contract and flags executor
+determinism hazards, with the same exit-code semantics; ``metrics``
+runs one experiment and exports its metric
 registry as JSON or Prometheus text; ``trace`` validates a recorded
 trace against the event schema (exit 1 on violations) and summarizes
 it, optionally reconstructing the cost breakdown and the per-(machine,
@@ -41,24 +45,10 @@ _SIGNALS = {}
 
 def _load_signals():
     if not _SIGNALS:
-        from repro.algorithms.bfs import bottom_up_signal
-        from repro.algorithms.cc import cc_signal
-        from repro.algorithms.kcore import kcore_signal
-        from repro.algorithms.kmeans import kmeans_signal
-        from repro.algorithms.mis import mis_signal
-        from repro.algorithms.pagerank import pagerank_signal
-        from repro.algorithms.sampling import sampling_signal
+        from repro.algorithms import SIGNAL_UDFS
 
         _SIGNALS.update(
-            {
-                "bfs": bottom_up_signal,
-                "mis": mis_signal,
-                "kcore": kcore_signal,
-                "kmeans": kmeans_signal,
-                "sampling": sampling_signal,
-                "cc": cc_signal,
-                "pagerank": pagerank_signal,
-            }
+            {name: fns[0] for name, fns in SIGNAL_UDFS.items()}
         )
     return _SIGNALS
 
@@ -185,6 +175,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable a rule code (repeatable)",
     )
     lint.add_argument(
+        "--output", default=None, help="write the report here instead of stdout"
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="certify kernel classifications and flag determinism hazards",
+    )
+    verify.add_argument(
+        "targets",
+        nargs="+",
+        help="a .py file, a directory, a dotted module name, or a "
+        "built-in signal name (e.g. kcore)",
+    )
+    verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote strict severities (non-commutative-slot becomes "
+        "a warning) before computing the exit code",
+    )
+    verify.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json", "sarif"),
+        help="output format (default: text)",
+    )
+    verify.add_argument(
         "--output", default=None, help="write the report here instead of stdout"
     )
 
@@ -429,6 +445,35 @@ def _lint(args) -> int:
     return run.exit_code
 
 
+def _verify(args) -> int:
+    """Run ``repro verify``: discover, certify, render, exit-code.
+
+    Exit semantics match ``repro lint``: 2 on errors (an unsound
+    kernel classification or an analyzer rejection), 1 on warnings
+    (determinism hazards; plus strict-promoted rules under
+    ``--strict``), 0 otherwise.
+    """
+    from repro.analysis.report import render_json, render_sarif, render_text
+    from repro.analysis.verify import verify_targets
+
+    report = verify_targets(
+        args.targets, strict=args.strict, named_signals=_load_signals()
+    )
+    if args.format == "json":
+        text = render_json(report.messages)
+    elif args.format == "sarif":
+        text = render_sarif(report.messages)
+    else:
+        body = render_text(report.messages)
+        text = (body + "\n" if body else "") + report.summary()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -455,6 +500,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "lint":
         return _lint(args)
+
+    if args.command == "verify":
+        return _verify(args)
 
     if args.command == "schedule":
         from repro.runtime.trace import render_schedule

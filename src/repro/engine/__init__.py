@@ -47,6 +47,7 @@ def make_engine(
     obs=None,
     executor=None,
     workers: Optional[int] = None,
+    verify: str = "off",
 ) -> BaseEngine:
     """Build an engine with its canonical partition strategy.
 
@@ -59,7 +60,11 @@ def make_engine(
     ``executor`` selects the backend per-machine work runs on
     (``"serial"``/``"thread"``/``"process"`` or an
     :class:`~repro.exec.Executor` instance) with ``workers`` bounding
-    its concurrency.
+    its concurrency.  ``verify`` gates the batched kernel fast path on
+    static certification of each classification
+    (``"warn"`` drops an uncertified kernel back to the per-vertex
+    interpreter, ``"strict"`` raises
+    :class:`~repro.errors.KernelSoundnessError`).
 
     This is the low-level constructor; :class:`repro.Session` with a
     :class:`repro.RunConfig` is the supported entry point for whole
@@ -104,7 +109,9 @@ def make_engine(
             graph = graph_or_partition.graph
         else:
             graph = graph_or_partition
-        return SingleThreadEngine(graph, obs=obs, executor=executor)
+        return SingleThreadEngine(
+            graph, obs=obs, executor=executor, verify=verify
+        )
 
     if isinstance(graph_or_partition, Partition):
         partition = graph_or_partition
@@ -119,9 +126,14 @@ def make_engine(
             )
 
     if kind == "gemini":
-        return GeminiEngine(partition, obs=obs, executor=executor)
+        return GeminiEngine(
+            partition, obs=obs, executor=executor, verify=verify
+        )
     if kind == "dgalois":
-        return DGaloisEngine(partition, obs=obs, executor=executor)
+        return DGaloisEngine(
+            partition, obs=obs, executor=executor, verify=verify
+        )
     return SympleGraphEngine(
-        partition, options=options, obs=obs, executor=executor
+        partition, options=options, obs=obs, executor=executor,
+        verify=verify,
     )

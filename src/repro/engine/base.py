@@ -131,6 +131,7 @@ class BaseEngine:
         use_kernels: bool = True,
         obs: Optional[ObsHub] = None,
         executor=None,
+        verify: str = "off",
     ) -> None:
         self.partition = partition
         self.graph = partition.graph
@@ -139,7 +140,9 @@ class BaseEngine:
         self.network = SimulatedNetwork(self.num_machines, self.counters)
         self.default_cost = default_cost
         self.use_kernels = use_kernels
+        self.verify = verify
         self._analyzed: Dict[int, AnalyzedSignal] = {}
+        self._certified: Dict[int, bool] = {}
         self._fault_controller = None
         self.executor = None
         self.attach_executor(executor)
@@ -365,10 +368,49 @@ class BaseEngine:
         spec = analyzed.kernel
         if spec is None:
             return None
+        if self.verify != "off" and not self._certify_kernel(analyzed, spec):
+            return None
         kernel = get_kernel(spec.kind)
         if kernel is None or not spec.compatible(state):
             return None
         return spec, kernel
+
+    def _certify_kernel(self, analyzed: AnalyzedSignal, spec) -> bool:
+        """Cross-check a classification before dispatching its kernel.
+
+        With ``verify="warn"`` a refuted contract drops the fast path
+        (the per-vertex interpreter is always correct) and emits a
+        ``RuntimeWarning``; ``verify="strict"`` re-raises the
+        :class:`~repro.errors.KernelSoundnessError`.  Verdicts cache
+        per signal function for the engine's lifetime.
+        """
+        key = id(analyzed.original)
+        cached = self._certified.get(key)
+        if cached is not None:
+            return cached
+        # lazy: certification is a verify-mode-only dependency
+        from repro.analysis.ast_analysis import analyze_parsed, parse_signal
+        from repro.analysis.verify import certify_spec
+        from repro.errors import KernelSoundnessError
+
+        try:
+            sig = parse_signal(analyzed.original)
+            certify_spec(sig, analyze_parsed(sig), spec)
+        except KernelSoundnessError as exc:
+            if self.verify == "strict":
+                raise
+            import warnings
+
+            warnings.warn(
+                "kernel fast path disabled for "
+                f"{getattr(analyzed.original, '__name__', '?')}: {exc}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._certified[key] = False
+            return False
+        self._certified[key] = True
+        return True
 
     def _run_kernel(
         self,

@@ -38,10 +38,11 @@ class DGaloisEngine(BaseEngine):
         use_kernels: bool = True,
         obs=None,
         executor=None,
+        verify: str = "off",
     ) -> None:
         super().__init__(
             partition, cost_model, use_kernels=use_kernels, obs=obs,
-            executor=executor,
+            executor=executor, verify=verify,
         )
 
     def pull(

@@ -37,10 +37,11 @@ class GeminiEngine(BaseEngine):
         use_kernels: bool = True,
         obs=None,
         executor=None,
+        verify: str = "off",
     ) -> None:
         super().__init__(
             partition, cost_model, use_kernels=use_kernels, obs=obs,
-            executor=executor,
+            executor=executor, verify=verify,
         )
 
     def pull(

@@ -34,9 +34,10 @@ class SingleThreadEngine(GeminiEngine):
         use_kernels: bool = True,
         obs=None,
         executor=None,
+        verify: str = "off",
     ) -> None:
         partition = OutgoingEdgeCut().partition(graph, 1)
         super().__init__(
             partition, cost_model, use_kernels=use_kernels, obs=obs,
-            executor=executor,
+            executor=executor, verify=verify,
         )

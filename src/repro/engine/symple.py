@@ -138,11 +138,12 @@ class SympleGraphEngine(BaseEngine):
         cost_model: CostModel = SYMPLE_COST,
         obs=None,
         executor=None,
+        verify: str = "off",
     ) -> None:
         self.options = options or SympleOptions()
         super().__init__(
             partition, cost_model, use_kernels=self.options.use_kernels,
-            obs=obs, executor=executor,
+            obs=obs, executor=executor, verify=verify,
         )
         if self.obs is None and self.options.trace is not None:
             self.attach_observer(self.options.trace)

@@ -29,6 +29,33 @@ class InstrumentationError(AnalysisError):
     """UDF instrumentation (source-to-source transform) failed."""
 
 
+class KernelSoundnessError(AnalysisError):
+    """A kernel classification failed certification.
+
+    Raised by the abstract-interpretation certifier
+    (:mod:`repro.analysis.verify`) when a UDF's derived effects exceed
+    the contract of the :class:`~repro.analysis.kernelspec.KernelSpec`
+    shape it was classified as.  Carries the violated ``obligation``
+    id and the ``program_point`` (``file:line``) it was refuted at.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        obligation: str = "",
+        program_point: str = "",
+    ) -> None:
+        prefix = f"{program_point}: " if program_point else ""
+        tag = f" [{obligation}]" if obligation else ""
+        super().__init__(f"{prefix}{message}{tag}")
+        self.obligation = obligation
+        self.program_point = program_point
+
+
+class VerificationError(AnalysisError):
+    """A strict verification run refused to certify a UDF or config."""
+
+
 class EngineError(ReproError):
     """Distributed engine execution failed or was misconfigured."""
 

@@ -50,6 +50,9 @@ class Executor:
     """Maps per-machine task functions; backends differ in where."""
 
     kind = "abstract"
+    #: whether tasks may run concurrently — the verification gate uses
+    #: this to decide if determinism hazards are load-bearing
+    parallel = False
 
     def __init__(self, workers: Optional[int] = None) -> None:
         self.workers = int(workers) if workers else 1
@@ -122,6 +125,7 @@ class ThreadPoolExecutor(Executor):
     """
 
     kind = "thread"
+    parallel = True
 
     def __init__(self, workers: Optional[int] = None) -> None:
         import os

@@ -98,6 +98,7 @@ class ProcessPoolExecutor(Executor):
     """Run tasks on forked worker processes over shared-memory views."""
 
     kind = "process"
+    parallel = True
 
     def __init__(self, workers: Optional[int] = None) -> None:
         super().__init__(workers or os.cpu_count() or 1)

@@ -287,3 +287,62 @@ class TestDefiniteAssignment:
     def test_params_always_definite(self):
         cfg, rd = analyses(LOOP_UDF)
         assert definitely_assigned_at(cfg, rd, cfg.exit, "nbrs")
+
+
+class TestWalrusBindings:
+    """``ast.NamedExpr`` stores must reach the analyses (PEP 572)."""
+
+    def test_walrus_in_condition_defines(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    if (x := s.rank[v]) > 0:\n"
+            "        emit(x)\n"
+        )
+        assert "x" in rd.defs_by_var
+        sites = [
+            (b, i)
+            for b, i, _ in cfg.instructions()
+            if "x" in rd.uses_at(b, i)
+        ]
+        assert sites
+
+    def test_walrus_in_for_iter_defines(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    for u in (ns := nbrs):\n"
+            "        emit(u)\n"
+            "        break\n"
+        )
+        assert "ns" in rd.defs_by_var
+        assert "ns" in rd.local_vars
+
+    def test_walrus_in_with_context_defines(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    with (h := s.handle):\n"
+            "        emit(h)\n"
+        )
+        assert "h" in rd.defs_by_var
+
+    def test_comprehension_walrus_leaks_to_function_scope(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    ys = [(y := u) for u in nbrs]\n"
+            "    emit(y)\n"
+        )
+        # the walrus target binds in the function scope...
+        assert "y" in rd.defs_by_var
+        # ...but the comprehension's own for-target stays scoped out
+        assert "u" not in rd.defs_by_var
+
+    def test_walrus_accumulator_is_loop_carried(self):
+        cfg, rd = analyses(
+            "def signal(v, nbrs, s, emit):\n"
+            "    acc = 0\n"
+            "    for u in nbrs:\n"
+            "        if (acc := acc + u) > s.k:\n"
+            "            emit(acc)\n"
+            "            break\n"
+        )
+        header = next(iter(cfg.loops))
+        assert "acc" in loop_carried_vars(cfg, rd, header)

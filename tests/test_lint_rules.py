@@ -291,3 +291,60 @@ class TestSlotRule:
             return False
 
         assert lint_slot(add_slot) == []
+
+
+class TestSlotRuleStrictAndAugAssign:
+    """The strict promotion and the augmented-assign coverage."""
+
+    def test_spelled_out_commutative_fold_clean(self):
+        # `acc = acc + term` is the plain-assign form of `acc += term`
+        # and must not be a false positive
+        def spelled_add_slot(v, value, s):
+            s.total[v] = s.total[v] + value
+            return False
+
+        assert lint_slot(spelled_add_slot) == []
+
+    def test_spelled_out_min_fold_clean(self):
+        def spelled_min_slot(v, value, s):
+            s.best[v] = min(s.best[v], value)
+            return False
+
+        assert lint_slot(spelled_min_slot) == []
+
+    def test_non_commutative_augassign_flagged(self):
+        # the old checker only looked at plain Assigns: `//=` slipped by
+        def floordiv_slot(v, value, s):
+            s.total[v] //= value
+            return False
+
+        messages = lint_slot(floordiv_slot)
+        assert codes(messages) == ["non-commutative-slot"]
+
+    def test_reversed_subtraction_flagged(self):
+        # e - s.x[v] does not commute under reordering; s.x[v] - e does
+        def rsub_slot(v, value, s):
+            s.total[v] = value - s.total[v]
+            return False
+
+        assert codes(lint_slot(rsub_slot)) == ["non-commutative-slot"]
+
+    def test_strict_config_promotes_to_warning(self):
+        from repro.analysis.rules import strict_config
+
+        def overwrite_slot(v, value, s):
+            s.label[v] = value
+            return True
+
+        messages = lint_slot(overwrite_slot, strict_config())
+        assert [m.level for m in messages] == ["warning"]
+
+    def test_strict_config_respects_caller_overrides(self):
+        from repro.analysis.rules import LintConfig, strict_config
+
+        def overwrite_slot(v, value, s):
+            s.label[v] = value
+            return True
+
+        base = LintConfig(overrides={"non-commutative-slot": "off"})
+        assert lint_slot(overwrite_slot, strict_config(base)) == []

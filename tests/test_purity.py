@@ -1,0 +1,142 @@
+"""Purity analysis: effect detection over signal/slot UDF bodies."""
+
+import pytest
+
+from repro.analysis.ast_analysis import parse_signal
+from repro.analysis.purity import Effect, signal_effects
+
+
+# -- fixture UDFs (module scope: the analyzer needs real source) ----------
+
+
+def clean_signal(v, nbrs, s, emit):
+    cnt = 0
+    for u in nbrs:
+        if s.active[u]:
+            cnt += 1
+            if cnt >= s.k:
+                emit(cnt)
+                break
+
+
+def state_write_signal(v, nbrs, s, emit):
+    for u in nbrs:
+        s.visited[u] = True
+        emit(u)
+        break
+
+
+def state_attr_write_signal(v, nbrs, s, emit):
+    s.scratch = 0
+    for u in nbrs:
+        emit(u)
+        break
+
+
+def global_write_signal(v, nbrs, s, emit):
+    global hits
+    hits = 1
+    for u in nbrs:
+        emit(u)
+        break
+
+
+def nondet_signal(v, nbrs, s, emit):
+    import random
+
+    for u in nbrs:
+        if random.random() < 0.5:
+            emit(u)
+            break
+
+
+def mutator_signal(v, nbrs, s, emit):
+    for u in nbrs:
+        s.queue.append(u)
+        emit(u)
+        break
+
+
+def param_rebind_signal(v, nbrs, s, emit):
+    s = object()
+    for u in nbrs:
+        emit(u)
+        break
+
+
+def walrus_rebind_signal(v, nbrs, s, emit):
+    for u in nbrs:
+        if (s := u) is not None:
+            emit(u)
+            break
+
+
+def walrus_local_signal(v, nbrs, s, emit):
+    for u in nbrs:
+        if (x := s.rank[u]) > 0:
+            emit(x)
+            break
+
+
+def effects_of(fn):
+    return signal_effects(parse_signal(fn))
+
+
+def kinds_of(fn):
+    return sorted({e.kind for e in effects_of(fn)})
+
+
+class TestCleanUdfs:
+    def test_fold_with_break_is_pure(self):
+        assert effects_of(clean_signal) == []
+
+    def test_walrus_binding_a_local_is_pure(self):
+        assert effects_of(walrus_local_signal) == []
+
+
+class TestWrites:
+    def test_state_subscript_write_flagged(self):
+        assert kinds_of(state_write_signal) == ["state-mutation"]
+
+    def test_state_attribute_write_flagged(self):
+        assert kinds_of(state_attr_write_signal) == ["state-mutation"]
+
+    def test_global_statement_write_flagged(self):
+        assert "global-write" in kinds_of(global_write_signal)
+
+    def test_mutating_method_call_flagged(self):
+        kinds = kinds_of(mutator_signal)
+        assert "state-mutation" in kinds
+
+
+class TestRebinds:
+    def test_plain_assign_rebinding_param_flagged(self):
+        effects = effects_of(param_rebind_signal)
+        assert [e.kind for e in effects] == ["state-mutation"]
+        assert "rebinds parameter 's'" in effects[0].detail
+
+    def test_walrus_rebinding_param_flagged(self):
+        effects = effects_of(walrus_rebind_signal)
+        assert [e.kind for e in effects] == ["state-mutation"]
+        assert "rebinds parameter 's'" in effects[0].detail
+
+
+class TestNondeterminism:
+    def test_rng_call_flagged(self):
+        kinds = kinds_of(nondet_signal)
+        assert "nondet-call" in kinds
+
+
+class TestEffectShape:
+    def test_effect_carries_node_for_program_point(self):
+        effect = effects_of(state_write_signal)[0]
+        assert isinstance(effect, Effect)
+        assert effect.node is not None
+        assert effect.node.lineno > 0
+
+    def test_corpus_signals_are_pure(self):
+        from repro.algorithms import SIGNAL_UDFS
+
+        for name, fns in sorted(SIGNAL_UDFS.items()):
+            for fn in fns:
+                assert effects_of(fn) == [], name

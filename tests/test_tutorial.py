@@ -95,3 +95,39 @@ class TestTutorialStepByStep:
         assert sym.counters.edges_traversed < gem.counters.edges_traversed
         assert sym.counters.update_bytes <= gem.counters.update_bytes
         assert sym.counters.dep_bytes > 0
+
+
+def doubling_signal(v, nbrs, s, emit):
+    # the tutorial's deliberately broken variant: *= is not a count
+    seen = 0
+    start = seen
+    for u in nbrs:
+        if s.trusted[u]:
+            seen *= 2
+            if seen >= s.k:
+                break
+    if seen > start:
+        emit(seen - start)
+
+
+class TestTutorialStep8Certification:
+    def test_trust_signal_certifies(self):
+        from repro.analysis.verify import verify_signal
+
+        verdict = verify_signal(trust_signal)
+        assert verdict.status == "certified"
+        assert verdict.spec_kind == "count_to_k_break"
+
+    def test_doubling_variant_refused_with_program_point(self):
+        from repro.analysis.ast_analysis import analyze_parsed, parse_signal
+        from repro.analysis.kernelspec import classify_kernel
+        from repro.analysis.verify import certify_spec
+        from repro.errors import KernelSoundnessError
+
+        sig = parse_signal(trust_signal)
+        pristine_spec = classify_kernel(sig, analyze_parsed(sig))
+        broken = parse_signal(doubling_signal)
+        with pytest.raises(KernelSoundnessError) as exc_info:
+            certify_spec(broken, analyze_parsed(broken), pristine_spec)
+        assert exc_info.value.obligation == "fold-count"
+        assert "test_tutorial.py" in exc_info.value.program_point
