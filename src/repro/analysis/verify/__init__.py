@@ -65,6 +65,7 @@ CERTIFIED = "certified"
 UNCLASSIFIED = "unclassified"
 NO_LOOP = "no-loop"
 CHECKED = "checked"
+REGISTRY = "registry"  # synthetic per-run verdict, not a UDF
 
 
 @dataclass
@@ -76,12 +77,14 @@ class UdfVerdict:
     always accompanied by an error-level ``kernel-unsound`` message),
     ``"unclassified"`` (neighbor loop but no kernel shape — the
     per-vertex interpreter runs, nothing to certify), ``"no-loop"``,
-    ``"checked"`` (slots: lint rules only), or ``"error"`` (the
-    analyzer rejected the UDF).
+    ``"checked"`` (slots: lint rules only), ``"error"`` (the analyzer
+    rejected the UDF), or ``"registry"`` (the synthetic per-run entry
+    carrying registry-coverage warnings — not a UDF, excluded from the
+    summary tally).
     """
 
     name: str
-    kind: str  # "signal" | "slot"
+    kind: str  # "signal" | "slot" | "registry"
     status: str
     messages: List[LintMessage] = field(default_factory=list)
     spec_kind: Optional[str] = None
@@ -124,10 +127,11 @@ class VerifyReport:
 
     def summary(self) -> str:
         """One-line tally for the end of text output."""
-        certified = sum(1 for v in self.verdicts if v.certified)
-        unsound = sum(1 for v in self.verdicts if v.status == UNSOUND)
+        udfs = [v for v in self.verdicts if v.status != REGISTRY]
+        certified = sum(1 for v in udfs if v.certified)
+        unsound = sum(1 for v in udfs if v.status == UNSOUND)
         return (
-            f"verified {len(self.verdicts)} UDF(s): {certified} "
+            f"verified {len(udfs)} UDF(s): {certified} "
             f"certified, {unsound} unsound, {len(self.errors)} error(s), "
             f"{len(self.warnings)} warning(s)"
         )
@@ -300,8 +304,8 @@ def verify_targets(
         report.verdicts.append(
             UdfVerdict(
                 name="<kernel-registry>",
-                kind="signal",
-                status=ERROR,
+                kind="registry",
+                status=REGISTRY,
                 messages=[
                     LintMessage(
                         "kernel-no-contract",

@@ -158,8 +158,10 @@ class EmitSite:
 
     ``region`` locates the call relative to the neighbor loop
     (``"pre"``/``"loop"``/``"post"``); ``guards`` is the stack of
-    enclosing ``if`` tests (innermost last); ``followed_by_break`` is
-    True when the statement immediately after the emit is ``break``.
+    enclosing path conditions (innermost last — the ``if`` test for a
+    body branch, its negation for an else branch);
+    ``followed_by_break`` is True when the statement immediately after
+    the emit is ``break``.
     """
 
     node: ast.Call = field(compare=False, hash=False)

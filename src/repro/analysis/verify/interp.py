@@ -332,6 +332,23 @@ class _TypeInterp:
 # -- fold classification -----------------------------------------------
 
 
+def _negated(test: ast.expr) -> ast.expr:
+    """Path condition of an ``else`` branch: ``not test``.
+
+    The synthesized node keeps the test's source location so any
+    verdict citing the guard still points at real code.  Downstream
+    guard matchers (the guarded-extremum grammar here, the delta-emit
+    and saturation obligations in :mod:`.contracts`) pattern-match bare
+    comparisons only, so a negated guard never satisfies a
+    positive-polarity obligation — else-branch folds conservatively
+    classify as OVERWRITE and else-branch emits/breaks fail the guard
+    obligations instead of passing them with inverted semantics.
+    """
+    return ast.copy_location(
+        ast.UnaryOp(op=ast.Not(), operand=test), test
+    )
+
+
 def _loads(node: ast.expr) -> Set[str]:
     return {
         n.id
@@ -412,8 +429,10 @@ class _LoopScanner:
 
     Produces the fold classifications (loop region only), the emit and
     break sites (every region), each tagged with the enclosing ``if``
-    tests.  Nested function definitions are opaque, as everywhere in
-    the analysis package.
+    tests — the *path condition*: body branches push the test itself,
+    else branches push its negation (see :func:`_negated`), so guard
+    polarity is always truthful.  Nested function definitions are
+    opaque, as everywhere in the analysis package.
     """
 
     def __init__(self, emit_name: Optional[str]):
@@ -436,9 +455,11 @@ class _LoopScanner:
             )
             if isinstance(stmt, ast.If):
                 self._expr_emits(stmt.test, region, guards)
-                inner = guards + (stmt.test,)
-                self.scan(stmt.body, region, inner)
-                self.scan(stmt.orelse, region, inner)
+                self._header_walruses(stmt.test, in_loop, stmt)
+                self.scan(stmt.body, region, guards + (stmt.test,))
+                self.scan(
+                    stmt.orelse, region, guards + (_negated(stmt.test),)
+                )
                 continue
             if isinstance(stmt, ast.Break):
                 self.breaks.append(BreakSite(node=stmt, guards=guards))
@@ -446,14 +467,18 @@ class _LoopScanner:
             if isinstance(stmt, (ast.For, ast.While)):
                 # only reachable for non-neighbor loops outside the
                 # neighbor loop (the analyzer rejects nested ones)
-                if isinstance(stmt, ast.For):
-                    self._expr_emits(stmt.iter, region, guards)
+                header = (
+                    stmt.iter if isinstance(stmt, ast.For) else stmt.test
+                )
+                self._expr_emits(header, region, guards)
+                self._header_walruses(header, in_loop, stmt)
                 self.scan(stmt.body, region, guards)
                 self.scan(stmt.orelse, region, guards)
                 continue
             if isinstance(stmt, ast.With):
                 for item in stmt.items:
                     self._expr_emits(item.context_expr, region, guards)
+                    self._header_walruses(item.context_expr, in_loop, stmt)
                 self.scan(stmt.body, region, guards)
                 continue
             if in_loop:
@@ -463,6 +488,19 @@ class _LoopScanner:
             self._stmt_emits(stmt, region, guards, followed_by_break)
 
     # -- folds ---------------------------------------------------------
+
+    def _header_walruses(
+        self, expr: ast.expr, in_loop: bool, stmt: ast.stmt
+    ) -> None:
+        """Walrus stores in a control-flow header (``if``/``while``
+        test, ``for`` iterable, ``with`` context expr) re-bind a name
+        every iteration; inside the neighbor loop that is beyond the
+        fold grammar, so classify the target OPAQUE."""
+        if not in_loop:
+            return
+        for nw in _walruses(expr):
+            if isinstance(nw.target, ast.Name):
+                self._join_fold(nw.target.id, FoldKind.OPAQUE, stmt)
 
     def _record_folds(
         self, stmt: ast.stmt, guards: Tuple[ast.expr, ...]
@@ -538,7 +576,9 @@ class _LoopScanner:
 
     def _emit_calls(self, node: ast.AST) -> List[ast.Call]:
         out = []
-        stack = list(ast.iter_child_nodes(node))
+        # include the root: a header expression may *be* the emit call
+        # (e.g. ``while emit(x):``)
+        stack = [node]
         while stack:
             child = stack.pop()
             if isinstance(

@@ -85,6 +85,72 @@ def broken_min_signal(v, nbrs, s, emit):
         emit(best)
 
 
+# -- guard-polarity fixtures (else branches invert the path condition) ----
+
+
+def else_branch_max_signal(v, nbrs, s, emit):
+    # computes a MAX through the else branch of an inverted test; a
+    # scanner that reuses the positive test for the else body would
+    # classify this as a min-fold and certify it against full_scan_min
+    best = s.label[v]
+    for u in nbrs:
+        if s.label[u] < best:
+            pass
+        else:
+            best = s.label[u]
+    if best < s.label[v]:
+        emit(best)  # repro: noqa[cumulative-emit]
+
+
+def else_branch_break_signal(v, nbrs, s, emit):
+    # breaks when the counter has NOT saturated (else of cnt >= s.k)
+    cnt = 0
+    start = cnt
+    for u in nbrs:
+        if s.active[u]:
+            cnt += 1
+        if cnt >= s.k:
+            pass
+        else:
+            break
+    if cnt > start:
+        emit(cnt - start)
+
+
+def else_branch_emit_signal(v, nbrs, s, emit):
+    # emits when the scan added NOTHING (else of total > start)
+    total = 0.0
+    start = total
+    for u in nbrs:
+        total += s.rank[u] / s.out_degree[u]
+    if total > start:
+        pass
+    else:
+        emit(total - start)
+
+
+def while_test_emit_signal(v, nbrs, s, emit):
+    # an emit hidden in a while-loop test after the neighbor scan
+    total = 0.0
+    start = total
+    for u in nbrs:
+        total += s.rank[u] / s.out_degree[u]
+    while emit(total - start):
+        pass
+    if total > start:
+        emit(total - start)
+
+
+def walrus_header_signal(v, nbrs, s, emit):
+    cnt = 0
+    start = cnt
+    for u in nbrs:
+        if (w := s.active[u]) > 0:
+            cnt += w
+    if cnt > start:
+        emit(cnt - start)
+
+
 # -- determinism fixtures -------------------------------------------------
 
 SHARED_SCRATCH = []
@@ -187,6 +253,19 @@ class TestCorpusCertifies:
         assert uncontracted_kernels() == ()
         assert set(contract_kinds()) == set(CONTRACTS)
 
+    def test_registry_gap_is_warning_not_error(self, monkeypatch):
+        from repro.kernels import registry as kreg
+
+        monkeypatch.setitem(kreg._REGISTRY, "exotic-scan", object())
+        report = verify_targets([])
+        assert report.exit_code == 1  # warning-level, matches the message
+        (reg,) = [v for v in report.verdicts if v.kind == "registry"]
+        assert reg.status == "registry"
+        assert not reg.certified
+        assert not report.errors
+        # the synthetic entry must not inflate the UDF tally
+        assert report.summary().startswith("verified 0 UDF(s)")
+
 
 # -- mutation rejection ---------------------------------------------------
 
@@ -231,6 +310,71 @@ class TestMutationsRejected:
         # no longer classifies is reported unclassified, never certified
         verdict = verify_signal(broken_sum_signal)
         assert verdict.status != "certified"
+
+
+# -- guard polarity (else branches, while tests, header walruses) ---------
+
+
+class TestGuardPolarity:
+    def test_else_branch_extremum_is_not_a_min_fold(self):
+        sig = parse_signal(else_branch_max_signal)
+        summary = summarize(sig, analyze_parsed(sig))
+        assert summary.fold_of("best") == FoldKind.OVERWRITE
+        assert not summary.order_insensitive("best")
+
+    def test_else_branch_max_refuted_against_min_spec(self):
+        _, _, spec = spec_of(cc_signal)
+        sig = parse_signal(else_branch_max_signal)
+        info = analyze_parsed(sig)
+        with pytest.raises(KernelSoundnessError) as exc_info:
+            certify_spec(sig, info, spec)
+        assert exc_info.value.obligation == "fold-min"
+
+    def test_else_branch_break_fails_saturation_guard(self):
+        _, _, spec = spec_of(kcore_signal)
+        sig = parse_signal(else_branch_break_signal)
+        info = analyze_parsed(sig)
+        with pytest.raises(KernelSoundnessError) as exc_info:
+            certify_spec(sig, info, spec)
+        assert exc_info.value.obligation == "saturation-guard"
+
+    def test_else_branch_emit_fails_delta_guard(self):
+        _, _, spec = spec_of(pagerank_signal)
+        sig = parse_signal(else_branch_emit_signal)
+        info = analyze_parsed(sig)
+        with pytest.raises(KernelSoundnessError) as exc_info:
+            certify_spec(sig, info, spec)
+        assert exc_info.value.obligation == "delta-emit"
+
+    def test_else_branch_emit_guard_is_negated_but_still_guarded(self):
+        import ast
+
+        sig = parse_signal(else_branch_emit_signal)
+        summary = summarize(sig, analyze_parsed(sig))
+        (site,) = summary.emits
+        assert site.guarded
+        guard = site.guards[-1]
+        assert isinstance(guard, ast.UnaryOp)
+        assert isinstance(guard.op, ast.Not)
+
+    def test_while_test_emit_is_visible(self):
+        sig = parse_signal(while_test_emit_signal)
+        summary = summarize(sig, analyze_parsed(sig))
+        assert len(summary.emits) == 2
+        assert all(e.region == "post" for e in summary.emits)
+
+    def test_while_test_emit_fails_single_post_emit(self):
+        _, _, spec = spec_of(pagerank_signal)
+        sig = parse_signal(while_test_emit_signal)
+        info = analyze_parsed(sig)
+        with pytest.raises(KernelSoundnessError) as exc_info:
+            certify_spec(sig, info, spec)
+        assert exc_info.value.obligation == "delta-emit"
+
+    def test_walrus_in_loop_header_is_opaque_fold(self):
+        sig = parse_signal(walrus_header_signal)
+        summary = summarize(sig, analyze_parsed(sig))
+        assert summary.fold_of("w") == FoldKind.OPAQUE
 
 
 # -- determinism rules ----------------------------------------------------
