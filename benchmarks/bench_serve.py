@@ -1,0 +1,268 @@
+"""Closed-loop load generator for the ``repro.serve`` query service.
+
+Starts the server twice against the same graph and workload — once
+with the batching coalescer, once request-at-a-time — and drives both
+with ``--clients`` closed-loop HTTP clients (each keeps exactly one
+request in flight, the standard closed-loop load model).  The workload
+is a hot-query mix: every request is single-source BFS with the source
+drawn round-robin from a small popular pool, the shape a serving
+workload actually has and the one the coalescer exists for — queued
+same-config requests merge into one multi-source batched run, and
+repeats of an identical query dedup into the same execution.
+
+Reports QPS, exact p50/p99 latency, and mean batch size per mode, and
+enforces two gates (exit 1 on violation, the CI ``serve-smoke`` job):
+
+* **digest equivalence** — every response's ``digest`` must equal the
+  digest of a direct ``Session.run`` of the response's
+  ``executed_config`` on the same graph, coalesced batches included;
+* **coalescing speedup** (``--smoke`` / ``--gate``) — batched QPS must
+  be >= 2x unbatched QPS.
+
+Writes ``benchmarks/results/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.api import RunConfig, Session
+from repro.serve import GraphRegistry, ServeApp, ServerThread
+from repro.serve.metrics import percentile
+from repro.serve.registry import parse_graph_spec
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ClosedLoopClient(threading.Thread):
+    """One closed-loop client: POST, wait, record, repeat."""
+
+    def __init__(self, port: int, graph: str, base_config: Dict,
+                 sources: List[int], requests: int, offset: int) -> None:
+        super().__init__(daemon=True)
+        self.port = port
+        self.graph = graph
+        self.base_config = base_config
+        self.sources = sources
+        self.requests = requests
+        self.offset = offset
+        self.latencies: List[float] = []
+        self.responses: List[Dict] = []
+        self.errors: List[str] = []
+
+    def run(self) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=60)
+        try:
+            for i in range(self.requests):
+                source = self.sources[(self.offset + i) % len(self.sources)]
+                body = dict(self.base_config)
+                body["graph"] = self.graph
+                body["sources"] = [source]
+                t0 = time.perf_counter()
+                while True:
+                    conn.request(
+                        "POST", "/query", body=json.dumps(body),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    payload = json.loads(response.read())
+                    if response.status == 429:
+                        # admission control pushed back: honor it
+                        time.sleep(0.02)
+                        continue
+                    break
+                if response.status != 200:
+                    self.errors.append(
+                        f"HTTP {response.status}: {payload.get('error')}"
+                    )
+                    return
+                self.latencies.append(time.perf_counter() - t0)
+                self.responses.append(payload)
+        except Exception as exc:  # noqa: BLE001 - report, don't hang
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            conn.close()
+
+
+def drive(port: int, graph: str, base_config: Dict, sources: List[int],
+          clients: int, requests: int) -> Dict:
+    """Run the closed loop; returns aggregate stats + raw responses."""
+    pool = [
+        ClosedLoopClient(port, graph, base_config, sources, requests,
+                         offset=i)
+        for i in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for client in pool:
+        client.start()
+    for client in pool:
+        client.join()
+    elapsed = time.perf_counter() - t0
+    errors = [e for c in pool for e in c.errors]
+    if errors:
+        raise RuntimeError(f"client failures: {errors[:3]}")
+    latencies = [lat for c in pool for lat in c.latencies]
+    responses = [r for c in pool for r in c.responses]
+    batch_sizes = [r["batch_size"] for r in responses]
+    return {
+        "qps": len(responses) / elapsed,
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p99_ms": percentile(latencies, 0.99) * 1e3,
+        "mean_batch": sum(batch_sizes) / len(batch_sizes),
+        "coalesced_share": (
+            sum(1 for r in responses if r["coalesced"]) / len(responses)
+        ),
+        "requests": len(responses),
+        "elapsed_s": elapsed,
+        "responses": responses,
+    }
+
+
+def probe(port: int) -> None:
+    """Assert /healthz and /metrics respond sanely (CI smoke check)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200 and payload["status"] == "ok", payload
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        text = response.read().decode("utf-8")
+        assert response.status == 200, text[:200]
+        assert "repro_serve_requests_total" in text, text[:200]
+        assert "# TYPE repro_serve_latency_seconds histogram" in text, \
+            text[:200]
+    finally:
+        conn.close()
+
+
+def check_digests(spec: str, responses: List[Dict]) -> int:
+    """Replay every distinct executed config directly; compare digests.
+
+    Returns the number of distinct configs replayed.  Raises
+    ``AssertionError`` on the first mismatch — a served digest that a
+    direct ``Session.run`` cannot reproduce bit for bit.
+    """
+    by_config: Dict[str, str] = {}
+    for response in responses:
+        key = json.dumps(response["executed_config"], sort_keys=True)
+        seen = by_config.setdefault(key, response["digest"])
+        assert seen == response["digest"], (
+            "one executed config served two digests: "
+            f"{seen} vs {response['digest']}"
+        )
+    graph = parse_graph_spec(spec)
+    with Session(graph) as session:
+        for key, digest in by_config.items():
+            config = RunConfig.from_dict(json.loads(key))
+            direct = session.run(config).digest()
+            assert direct == digest, (
+                f"digest mismatch for {key}: served {digest}, "
+                f"direct {direct}"
+            )
+    return len(by_config)
+
+
+def run_mode(batching: bool, spec: str, base_config: Dict,
+             sources: List[int], clients: int, requests: int,
+             max_depth: int) -> Dict:
+    registry = GraphRegistry()
+    registry.load("bench", spec)
+    app = ServeApp(registry, max_depth=max_depth, batching=batching,
+                   request_timeout=120.0)
+    with ServerThread(app) as server:
+        probe(server.port)
+        stats = drive(server.port, "bench", base_config, sources,
+                      clients, requests)
+    return stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graph, few requests, gates armed "
+                        "(the CI serve-smoke configuration)")
+    parser.add_argument("--gate", action="store_true",
+                        help="arm the >= 2x coalescing gate outside "
+                        "--smoke")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="rmat scale (default: 10, smoke: 7)")
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default: 40, "
+                        "smoke: 16)")
+    parser.add_argument("--pool", type=int, default=3,
+                        help="hot-source pool size (default: 3)")
+    parser.add_argument("--max-depth", type=int, default=256)
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (7 if args.smoke else 10)
+    requests = (
+        args.requests if args.requests is not None
+        else (16 if args.smoke else 40)
+    )
+    spec = f"rmat:scale={scale},edge_factor=8,seed=3"
+    base_config = {
+        "engine": "symple",
+        "algorithm": "bfs",
+        "machines": args.machines,
+        "seed": 0,
+    }
+    graph = parse_graph_spec(spec)
+    degrees = graph.out_degrees()
+    sources = [int(v) for v in range(graph.num_vertices)
+               if degrees[v] > 0][: args.pool]
+    total = args.clients * requests
+    print(
+        f"workload: {total} x single-source BFS over a {args.pool}-hot "
+        f"source pool, {args.clients} closed-loop clients, {spec}, "
+        f"machines={args.machines}"
+    )
+
+    report = {}
+    for label, batching in (("unbatched", False), ("batched", True)):
+        stats = run_mode(batching, spec, base_config, sources,
+                         args.clients, requests, args.max_depth)
+        replayed = check_digests(spec, stats.pop("responses"))
+        stats["distinct_configs_replayed"] = replayed
+        report[label] = stats
+        print(
+            f"{label:>10}: {stats['qps']:7.1f} QPS   "
+            f"p50 {stats['p50_ms']:7.1f} ms   "
+            f"p99 {stats['p99_ms']:7.1f} ms   "
+            f"mean batch {stats['mean_batch']:.2f}   "
+            f"({replayed} configs digest-replayed OK)"
+        )
+
+    ratio = report["batched"]["qps"] / report["unbatched"]["qps"]
+    report["speedup"] = ratio
+    print(f"coalescing speedup: {ratio:.2f}x "
+          f"(batched vs request-at-a-time)")
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {path}")
+
+    if (args.smoke or args.gate) and ratio < 2.0:
+        print(
+            f"FAIL: coalescing speedup {ratio:.2f}x below the 2x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,13 @@ from repro.algorithms.alias import (
     build_alias_tables,
     sample_neighbors_alias,
 )
-from repro.algorithms.bfs import BFSProgram, BFSResult, bfs, bottom_up_signal
+from repro.algorithms.bfs import (
+    BFSProgram,
+    BFSResult,
+    bfs,
+    bfs_multi,
+    bottom_up_signal,
+)
 from repro.algorithms.cc import CCResult, cc_signal, connected_components
 from repro.algorithms.kcore import (
     KCoreProgram,
@@ -31,7 +37,7 @@ from repro.algorithms.sampling import (
     sampling_signal,
 )
 from repro.algorithms.scc import SCCResult, scc, scc_reach_signal
-from repro.algorithms.sssp import SSSPResult, sssp, sssp_signal
+from repro.algorithms.sssp import SSSPResult, sssp, sssp_multi, sssp_signal
 
 #: algorithm name -> the signal UDF(s) its driver hands to the engine;
 #: the verification gate certifies exactly these before a run
@@ -50,6 +56,7 @@ SIGNAL_UDFS = {
 __all__ = [
     "SIGNAL_UDFS",
     "bfs",
+    "bfs_multi",
     "bottom_up_signal",
     "BFSResult",
     "BFSProgram",
@@ -80,6 +87,7 @@ __all__ = [
     "scc_reach_signal",
     "SCCResult",
     "sssp",
+    "sssp_multi",
     "sssp_signal",
     "SSSPResult",
     "AliasTable",

@@ -16,7 +16,7 @@ import numpy as np
 from repro.engine.base import BaseEngine
 from repro.errors import ConvergenceError, GraphError
 
-__all__ = ["sssp", "sssp_signal", "SSSPResult"]
+__all__ = ["sssp", "sssp_multi", "sssp_signal", "SSSPResult"]
 
 INF = np.inf
 
@@ -108,6 +108,24 @@ def sssp(
         frontier[result.changed] = True
 
     return SSSPResult(dist=s.dist.copy(), iterations=iterations)
+
+
+def sssp_multi(
+    engine: BaseEngine,
+    sources: "list[int]",
+    max_iterations: int | None = None,
+) -> "list[SSSPResult]":
+    """Run SSSP from many sources on one prepared engine, in order.
+
+    The multi-source batch entry mirroring
+    :func:`repro.algorithms.bfs.bfs_multi`: one engine (partition,
+    executor bind, weight tables warmed per vertex) serves the whole
+    batch, while each source still relaxes on a fresh distance array so
+    its result is bit-identical to a standalone :func:`sssp` run.
+    """
+    return [
+        sssp(engine, int(source), max_iterations) for source in sources
+    ]
 
 
 class _WeightView:

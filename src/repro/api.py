@@ -26,7 +26,11 @@ around this module.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+import threading
 import warnings
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -41,9 +45,12 @@ from repro.runtime.cost_model import CostModel
 __all__ = ["Checkpointing", "RunConfig", "Session"]
 
 _ENGINE_KINDS = ("gemini", "symple", "dgalois", "single")
-_ALGORITHMS = ("bfs", "kcore", "mis", "kmeans", "sampling")
+_ALGORITHMS = ("bfs", "kcore", "mis", "kmeans", "sampling", "sssp")
 _RESUMABLE = ("bfs", "kcore", "mis")
 _VERIFY_MODES = ("off", "warn", "strict")
+#: algorithms that accept an explicit ``sources`` tuple — the
+#: multi-source batch entry the serving layer coalesces requests into
+SOURCED_ALGORITHMS = ("bfs", "sssp")
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,7 @@ class RunConfig:
     bfs_roots: int = 3
     kcore_k: int = 8
     kmeans_rounds: int = 2
+    sources: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINE_KINDS:
@@ -132,6 +140,28 @@ class RunConfig:
                 f"unknown verify mode {self.verify!r}; "
                 f"expected one of {_VERIFY_MODES}"
             )
+        if self.sources is not None:
+            if self.algorithm not in SOURCED_ALGORITHMS:
+                raise EngineError(
+                    f"sources= selects explicit roots for "
+                    f"{SOURCED_ALGORITHMS}; the {self.algorithm!r} "
+                    "algorithm does not take them"
+                )
+            try:
+                normalized = tuple(int(s) for s in self.sources)
+            except (TypeError, ValueError):
+                raise EngineError(
+                    f"sources must be a sequence of vertex ids, "
+                    f"got {self.sources!r}"
+                ) from None
+            if not normalized:
+                raise EngineError("sources must name at least one vertex")
+            if any(s < 0 for s in normalized):
+                raise EngineError(
+                    f"sources must be non-negative vertex ids, "
+                    f"got {normalized}"
+                )
+            object.__setattr__(self, "sources", normalized)
         if self.faulted and self.algorithm not in _RESUMABLE:
             raise UnsupportedAlgorithmError(
                 f"{self.algorithm} is not a resumable program; fault "
@@ -181,7 +211,20 @@ class RunConfig:
             "bfs_roots": self.bfs_roots,
             "kcore_k": self.kcore_k,
             "kmeans_rounds": self.kmeans_rounds,
+            "sources": None if self.sources is None else list(self.sources),
         }
+
+    def digest(self) -> str:
+        """Canonical sha256 over the configuration fields.
+
+        Two configs digest identically iff :meth:`to_dict` agrees —
+        the key the serving layer dedups identical requests by and
+        groups batchable requests under (after stripping ``sources``).
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunConfig":
@@ -196,6 +239,20 @@ class RunConfig:
         if ckpt is not None:
             payload["checkpointing"] = Checkpointing(**ckpt)
         return cls(**payload)
+
+
+def _close_executors(executors: Dict[Any, Executor]) -> None:
+    """Finalizer body shared by :meth:`Session.close` and GC/atexit.
+
+    Module-level (not a bound method) so the ``weakref.finalize``
+    registration holds no reference back to the session itself.
+    """
+    for ex in list(executors.values()):
+        try:
+            ex.close()
+        except Exception:  # pragma: no cover - best-effort shutdown
+            pass
+    executors.clear()
 
 
 class Session:
@@ -215,6 +272,18 @@ class Session:
         self._executors: Dict[Tuple[str, Optional[int]], Executor] = {}
         self._verified: Set[Tuple[str, str]] = set()
         self._closed = False
+        # guards the cache dicts against concurrent `run` calls; actual
+        # execution serializes per executor instance via _run_locks so
+        # two threads never interleave work on one executor's context
+        self._cache_lock = threading.Lock()
+        self._run_locks: Dict[int, threading.RLock] = {}
+        # interrupted runs must not leak process pools or
+        # multiprocessing.shared_memory segments: the finalizer closes
+        # session-owned executors at GC or interpreter exit, and
+        # close() routes through it so both paths are idempotent
+        self._finalizer = weakref.finalize(
+            self, _close_executors, self._executors
+        )
 
     # -- cached artifacts -------------------------------------------------
 
@@ -225,13 +294,16 @@ class Session:
         key = (strategy, config.machines)
         part = self._partitions.get(key)
         if part is None:
-            cut = (
-                CartesianVertexCut()
-                if strategy == "vertexcut"
-                else OutgoingEdgeCut()
-            )
-            part = cut.partition(self.graph, config.machines)
-            self._partitions[key] = part
+            with self._cache_lock:
+                part = self._partitions.get(key)
+                if part is None:
+                    cut = (
+                        CartesianVertexCut()
+                        if strategy == "vertexcut"
+                        else OutgoingEdgeCut()
+                    )
+                    part = cut.partition(self.graph, config.machines)
+                    self._partitions[key] = part
         return part
 
     def _executor(self, config: RunConfig) -> Executor:
@@ -241,9 +313,25 @@ class Session:
         key = (config.executor, config.workers)
         ex = self._executors.get(key)
         if ex is None:
-            ex = make_executor(config.executor, workers=config.workers)
-            self._executors[key] = ex
+            with self._cache_lock:
+                ex = self._executors.get(key)
+                if ex is None:
+                    ex = make_executor(
+                        config.executor, workers=config.workers
+                    )
+                    self._executors[key] = ex
         return ex
+
+    def _run_lock(self, executor: Executor) -> threading.RLock:
+        key = id(executor)
+        lock = self._run_locks.get(key)
+        if lock is None:
+            with self._cache_lock:
+                lock = self._run_locks.get(key)
+                if lock is None:
+                    lock = threading.RLock()
+                    self._run_locks[key] = lock
+        return lock
 
     def _preflight(self, config: RunConfig) -> None:
         """Statically verify the run's signal UDFs before executing.
@@ -316,25 +404,34 @@ class Session:
 
         self._preflight(config)
         target = self._partition(config)
-        engine = make_engine(
-            config.engine,
-            self.graph if target is None else target,
-            config.machines,
-            options=config.options,
-            obs=config.obs,
-            executor=self._executor(config),
-            verify=config.verify,
-        )
-        return _run_session_config(engine, self.graph, config)
+        executor = self._executor(config)
+        # executors carry per-bind context (worker pools, shm views, the
+        # current state pointer), so concurrent runs sharing one must
+        # not interleave: callers on other threads wait their turn here
+        # while runs on *different* executors proceed in parallel
+        with self._run_lock(executor):
+            engine = make_engine(
+                config.engine,
+                self.graph if target is None else target,
+                config.machines,
+                options=config.options,
+                obs=config.obs,
+                executor=executor,
+                verify=config.verify,
+            )
+            return _run_session_config(engine, self.graph, config)
 
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
-        """Release session-owned executors (shared memory, pools)."""
-        for ex in self._executors.values():
-            ex.close()
-        self._executors.clear()
+        """Release session-owned executors (shared memory, pools).
+
+        Idempotent: safe to call repeatedly, from ``__exit__``, and the
+        same cleanup runs via ``weakref.finalize`` if the session is
+        garbage-collected or the interpreter exits mid-run.
+        """
         self._closed = True
+        self._finalizer()
 
     def __enter__(self) -> "Session":
         return self

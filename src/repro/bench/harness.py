@@ -25,8 +25,10 @@ from repro.algorithms import (
     BFSProgram,
     KCoreProgram,
     MISProgram,
+    bfs_multi,
     kmeans,
     sample_neighbors,
+    sssp_multi,
 )
 from repro.engine import SympleOptions
 from repro.engine.base import BaseEngine
@@ -104,6 +106,26 @@ def _bfs_roots(graph: CSRGraph, num_roots: int, seed: int) -> np.ndarray:
     return rng.choice(candidates, size=count, replace=False)
 
 
+def _run_sources(graph: CSRGraph, config, default_count: int) -> np.ndarray:
+    """The roots/sources one run traverses from.
+
+    Explicit ``config.sources`` (validated against the graph) when the
+    caller — typically the serving layer's batching coalescer — pinned
+    them; otherwise the seeded multi-root protocol.
+    """
+    if config.sources is None:
+        return _bfs_roots(graph, default_count, config.seed)
+    sources = np.asarray(config.sources, dtype=np.int64)
+    n = graph.num_vertices
+    bad = sources[(sources < 0) | (sources >= n)]
+    if bad.size:
+        raise ValueError(
+            f"sources {bad.tolist()} out of range for a graph with "
+            f"{n} vertices"
+        )
+    return sources
+
+
 def _merge_report(extra: Dict[str, float], report) -> None:
     """Accumulate a RecoveryReport into a run's ``extra`` metrics."""
     payload = report.to_dict()
@@ -146,13 +168,25 @@ def _run_session_config(engine: BaseEngine, graph: CSRGraph, config):
         return result
 
     algorithm = config.algorithm
-    if algorithm == "bfs":
-        roots = _bfs_roots(graph, config.bfs_roots, config.seed)
-        reached = 0
-        for root in roots:
-            result = drive(BFSProgram(int(root)))
-            reached += result.reached
+    if algorithm in ("bfs", "sssp"):
+        roots = _run_sources(
+            graph, config, config.bfs_roots if algorithm == "bfs" else 1
+        )
+        if algorithm == "sssp":
+            results = sssp_multi(engine, [int(r) for r in roots])
+        elif faulted:
+            results = [drive(BFSProgram(int(root))) for root in roots]
+        else:
+            # the multi-source batch entry: identical program sequence,
+            # one engine serving the whole batch
+            results = bfs_multi(engine, [int(r) for r in roots])
+        reached = sum(result.reached for result in results)
         extra["avg_reached"] = reached / len(roots)
+        if config.sources is not None:
+            # explicit sources get per-source answers in the result so
+            # a coalesced serving batch can answer every request
+            for root, result in zip(roots, results):
+                extra[f"reached[{int(root)}]"] = float(result.reached)
         time = engine.execution_time(cost_model) / len(roots)
         if engine.obs is not None:
             engine.obs.run_end(engine, cost_model)

@@ -221,6 +221,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument("--machines", type=int, default=4)
 
+    serve = sub.add_parser(
+        "serve", help="start the long-lived graph query service"
+    )
+    serve.add_argument(
+        "--graph",
+        action="append",
+        default=None,
+        metavar="NAME=SPEC",
+        help="serve a graph under NAME (repeatable); SPEC is a dataset "
+        "short name, rmat:scale=...,edge_factor=...,seed=..., or "
+        "file:/path.  Bare SPEC uses itself as the name.  "
+        "Default: the s27 benchmark dataset.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8571)
+    serve.add_argument(
+        "--max-depth", type=int, default=64,
+        help="admission control: queued requests beyond this get "
+        "429 + Retry-After (default: 64)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="most requests one engine run may coalesce (default: 64)",
+    )
+    serve.add_argument(
+        "--no-batching", action="store_true",
+        help="serve request-at-a-time (disables the coalescer; the "
+        "bench's unbatched baseline)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline; late queries get 504 (default: 30)",
+    )
+
     report = sub.add_parser(
         "report", help="collect regenerated benchmark tables into one report"
     )
@@ -474,6 +508,33 @@ def _verify(args) -> int:
     return report.exit_code
 
 
+def _serve(args) -> int:
+    """Run ``repro serve``: load graphs, start the daemon, drain on TERM."""
+    from repro.serve import GraphRegistry, ServeApp, serve_forever
+
+    registry = GraphRegistry()
+    for item in args.graph or ["s27"]:
+        name, eq, spec = item.partition("=")
+        if not eq:
+            name, spec = item, item
+        entry = registry.load(name, spec)
+        facts = entry.describe()
+        print(
+            f"repro serve: loaded {name!r} <- {spec} "
+            f"({facts['num_vertices']:,} vertices, "
+            f"{facts['num_edges']:,} edges)",
+            flush=True,
+        )
+    app = ServeApp(
+        registry,
+        max_depth=args.max_depth,
+        batching=not args.no_batching,
+        max_batch=args.max_batch,
+        request_timeout=args.timeout,
+    )
+    return serve_forever(app, host=args.host, port=args.port)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -503,6 +564,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "verify":
         return _verify(args)
+
+    if args.command == "serve":
+        return _serve(args)
 
     if args.command == "schedule":
         from repro.runtime.trace import render_schedule

@@ -73,6 +73,10 @@ class FaultPlanError(ReproError):
     """A fault plan is malformed or inconsistent with the cluster."""
 
 
+class ServeError(ReproError):
+    """The query service was misconfigured or refused a request."""
+
+
 class FaultError(EngineError):
     """An injected fault interrupted execution.  Recoverable through
     :func:`repro.fault.run_recoverable`; fatal otherwise."""

@@ -243,3 +243,82 @@ class TestLegacyDeprecations:
     def test_removed_dep_loss_options_name_fault_plan(self):
         with pytest.raises(EngineError, match="FaultPlan.dep_loss"):
             SympleOptions(dep_loss_rate=0.1)
+
+
+class TestSessionLifecycle:
+    """PR 7 satellites: idempotent close + finalizer-backed cleanup."""
+
+    def test_close_is_idempotent(self, graph):
+        session = Session(graph)
+        session.run(RunConfig(machines=4, bfs_roots=1))
+        session.close()
+        session.close()  # must not raise or double-free
+        assert not session._finalizer.alive
+
+    def test_close_releases_executors(self, graph):
+        session = Session(graph)
+        session.run(
+            RunConfig(machines=4, bfs_roots=1, executor="thread", workers=2)
+        )
+        assert session._executors
+        session.close()
+        assert not session._executors
+
+    def test_finalizer_runs_on_garbage_collection(self, graph):
+        import gc
+
+        closes = []
+        session = Session(graph)
+        ex = session._executor(RunConfig(machines=4, executor="thread",
+                                         workers=2))
+        original_close = ex.close
+        ex.close = lambda: (closes.append(True), original_close())
+        finalizer = session._finalizer
+        del session, ex
+        gc.collect()
+        # an interrupted run (no explicit close) must not leak pools
+        assert not finalizer.alive
+        assert closes
+
+    def test_exit_after_manual_close_is_safe(self, graph):
+        with Session(graph) as session:
+            session.run(RunConfig(machines=4, bfs_roots=1))
+            session.close()
+        # __exit__ called close() a second time; nothing raised
+
+
+class TestSessionThreadSafety:
+    """PR 7 satellite: concurrent Session.run from multiple threads."""
+
+    def test_concurrent_runs_are_bit_identical(self, graph):
+        import threading
+
+        config = RunConfig(machines=4, bfs_roots=1)
+        with Session(graph) as session:
+            reference = session.run(config).digest()
+            digests = [None] * 8
+            errors = []
+
+            def worker(i):
+                try:
+                    # alternate machine counts so the partition cache
+                    # fills under contention, not just the run path
+                    cfg = config if i % 2 == 0 else config.replace(machines=3)
+                    digests[i] = (i % 2, session.run(cfg).digest())
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors
+            assert None not in digests
+            odd = session.run(config.replace(machines=3)).digest()
+        assert {d for flavor, d in digests if flavor == 0} == {reference}
+        assert {d for flavor, d in digests if flavor == 1} == {odd}
+        # exactly one partition per (strategy, machines) despite the race
+        assert sorted(session._partitions) == [("edgecut", 3), ("edgecut", 4)]
