@@ -15,10 +15,13 @@ interpreter or any equivalence check fails (the CI perf gate).
 
 ``--executors`` sweeps the executor backends instead: the same run
 under serial, thread, and process, verifying bit-identical results and
-reporting the wall-clock ratio against serial.  The >= 1.5x process
-speedup assertion only arms on machines with enough real cores
-(``os.cpu_count() >= 4``) and outside ``--smoke``; a single-core CI
-container can only check equivalence, not parallel speedup.
+reporting the wall-clock ratio against serial.  Each backend reuses
+ONE executor instance: the first run is reported as *cold* (pool
+spawn + topology publish included) and the median of the ``--repeats``
+subsequent runs as *warm* (steady state of a long-lived Session).  The
+>= 1.5x process-vs-serial floor is armed **unconditionally** on the
+warm numbers — warm-pool reuse is the whole point of the process
+backend, and a regression should fail CI regardless of core count.
 
 Writes ``benchmarks/results/BENCH_wallclock.json``.
 """
@@ -120,45 +123,69 @@ def bench_one(partition, algorithm: str, repeats: int) -> dict:
 EXECUTORS = ("serial", "thread", "process")
 
 
+def true_cores() -> int:
+    """CPUs actually schedulable for this process, not the machine's."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def bench_executors(partition, algorithm: str, repeats: int,
                     workers: int) -> dict:
-    """Time one algorithm per executor backend; verify equivalence."""
+    """Time one algorithm per executor backend; verify equivalence.
+
+    One executor instance per backend, reused across ``1 + repeats``
+    runs: run 0 is the cold time (pool spawn + topology publish for the
+    process backend), the median of the rest is the warm steady state —
+    what a long-lived Session (or ``repro serve``) actually pays.
+    """
     run = ALGORITHMS[algorithm]
 
     def timed(executor):
         from repro.exec import make_executor
 
-        best = float("inf")
-        engine = result = None
         ex = make_executor(
             executor, workers=None if executor == "serial" else workers
         )
-        for _ in range(repeats):
+        engine = result = None
+        times = []
+        for _ in range(1 + repeats):
             engine = SympleGraphEngine(
                 partition, SympleOptions(), executor=ex
             )
             t0 = time.perf_counter()
             result = run(engine)
-            best = min(best, time.perf_counter() - t0)
+            times.append(time.perf_counter() - t0)
+        stats = ex.stats()
         ex.close()
-        return best, engine, result
+        cold = times[0]
+        warm = float(np.median(times[1:])) if repeats else cold
+        return cold, warm, engine, result, stats
 
-    t_serial, eng_s, res_s = timed("serial")
+    _, w_serial, eng_s, res_s, _ = timed("serial")
     row = {
         "algorithm": algorithm,
         "workers": workers,
-        "seconds": {"serial": t_serial},
+        "repeats": repeats,
+        "seconds_cold": {},
+        "seconds_warm": {"serial": w_serial},
         "speedup_vs_serial": {"serial": 1.0},
         "identical": {},
     }
     for backend in ("thread", "process"):
-        t, eng, res = timed(backend)
+        cold, warm, eng, res, stats = timed(backend)
         checks = _identical(eng_s, res_s, eng, res)
-        row["seconds"][backend] = t
+        row["seconds_cold"][backend] = cold
+        row["seconds_warm"][backend] = warm
         row["speedup_vs_serial"][backend] = (
-            t_serial / t if t > 0 else float("inf")
+            w_serial / warm if warm > 0 else float("inf")
         )
         row["identical"][backend] = checks
+        if backend == "process":
+            # arena traffic: publish bytes are cumulative over all
+            # 1 + repeats runs; spawns > 1 would mean the pool died
+            row["process_stats"] = stats
     return row
 
 
@@ -200,10 +227,11 @@ def main(argv=None) -> int:
     rows = []
     failed = False
     if args.executors:
-        # real parallel speedup needs real cores; equivalence is
-        # asserted everywhere, the 1.5x floor only where it can hold
-        cores = os.cpu_count() or 1
-        assert_speedup = cores >= 4 and not args.smoke
+        # the 1.5x warm-run floor is armed unconditionally: warm-pool
+        # reuse must win even on modest runners, and a regression
+        # should fail CI rather than hide behind a core-count check
+        cores = true_cores()
+        floor_algorithms = {"bfs_bottomup", "cc"}
         for algorithm in algorithms:
             row = bench_executors(
                 partition, algorithm, args.repeats, args.workers
@@ -215,27 +243,27 @@ def main(argv=None) -> int:
             failed |= not ok
             line = f"{algorithm:>14}:"
             for backend in EXECUTORS:
+                warm = row["seconds_warm"][backend]
                 line += (
-                    f"  {backend} {row['seconds'][backend]:7.3f}s"
+                    f"  {backend} {warm:7.3f}s"
                     f" ({row['speedup_vs_serial'][backend]:4.2f}x)"
                 )
-            print(line + f"  identical={'yes' if ok else 'NO'}")
+            cold = row["seconds_cold"].get("process")
+            print(
+                line
+                + f"  cold(process) {cold:7.3f}s"
+                + f"  identical={'yes' if ok else 'NO'}"
+            )
             if (
-                assert_speedup
-                and algorithm == "bfs_bottomup"
+                algorithm in floor_algorithms
                 and row["speedup_vs_serial"]["process"] < 1.5
             ):
                 print(
-                    "bfs_bottomup: process backend below the 1.5x floor "
-                    f"on {cores} cores "
+                    f"{algorithm}: warm process backend below the 1.5x "
+                    f"floor on {cores} cores "
                     f"({row['speedup_vs_serial']['process']:.2f}x)"
                 )
                 failed = True
-        if not assert_speedup:
-            print(
-                f"(speedup floor not armed: cores={cores}, "
-                f"smoke={args.smoke} — equivalence checked only)"
-            )
     else:
         for algorithm in algorithms:
             row = bench_one(partition, algorithm, args.repeats)
@@ -263,7 +291,8 @@ def main(argv=None) -> int:
             "smoke": args.smoke,
             "mode": "executors" if args.executors else "kernels",
             "workers": args.workers if args.executors else None,
-            "cores": os.cpu_count(),
+            "cores": true_cores(),
+            "cores_machine": os.cpu_count(),
         },
         "rows": rows,
     }

@@ -397,6 +397,20 @@ class Session:
         """Execute several configs against the same cached artifacts."""
         return [self.run(config) for config in configs]
 
+    def executor_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Stats snapshot of every session-cached executor.
+
+        Keys are ``"kind:workers"``; the process backend reports its
+        warm-pool numbers (spawns, topology generation, arena bytes) —
+        this is what ``repro.serve`` surfaces under ``/stats``.
+        """
+        with self._cache_lock:
+            items = list(self._executors.items())
+        return {
+            f"{kind}:{workers if workers else 0}": ex.stats()
+            for (kind, workers), ex in items
+        }
+
     def _execute(self, config: RunConfig):
         # imported here: harness imports this module for the legacy
         # wrapper, so the dependency must stay one-way at import time

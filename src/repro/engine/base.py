@@ -187,6 +187,11 @@ class BaseEngine:
         )
         if ex.last_fallback is not None:
             self.obs.exec_fallback(ex.kind, ex.last_fallback)
+        for kind, payload in ex.drain_events():
+            if kind == "pool_spawn":
+                self.obs.exec_pool_spawn(ex.kind, **payload)
+            elif kind == "arena_grow":
+                self.obs.exec_arena_grow(ex.kind, **payload)
         self.obs.exec_map_end(ex.kind, len(items), perf_counter() - t0)
         return results
 

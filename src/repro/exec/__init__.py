@@ -3,8 +3,11 @@
 ``SerialExecutor`` (default) runs tasks inline; ``ThreadPoolExecutor``
 and ``ProcessPoolExecutor`` run them concurrently with a deterministic
 merge, so every backend produces bit-identical results, counters, and
-traffic.  See :mod:`repro.exec.base` for the contract and
-:mod:`repro.exec.work` for the task functions.
+traffic.  The process backend is a *persistent* pool over a
+shared-memory arena — workers stay warm across runs and graph rebinds
+(see :mod:`repro.exec.process` and :mod:`repro.exec.shm`).  See
+:mod:`repro.exec.base` for the contract and :mod:`repro.exec.work` for
+the task functions.
 """
 
 from repro.exec.base import (

@@ -20,8 +20,9 @@ concurrent backends additionally turn them into real wall-clock stalls
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent import futures
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError
 from repro.exec.work import WorkerContext
@@ -60,6 +61,21 @@ class Executor:
         self._partition = None
         # reason the last map ran serially despite the backend, if any
         self.last_fallback: Optional[str] = None
+        #: lifecycle events (``(kind, payload)``) accumulated since the
+        #: last drain — pool spawns, arena growths; engines drain these
+        #: into the observability stream after each map call
+        self.events: "deque[Tuple[str, Dict[str, Any]]]" = deque(maxlen=256)
+
+    def drain_events(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Pop and return all pending lifecycle events, oldest first."""
+        out: List[Tuple[str, Dict[str, Any]]] = []
+        while self.events:
+            out.append(self.events.popleft())
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        """Backend introspection snapshot (pool/arena numbers)."""
+        return {"kind": self.kind, "workers": int(self.workers)}
 
     def bind(self, engine) -> None:
         """Target this executor at an engine's partition.

@@ -1,11 +1,32 @@
-"""Process-pool executor backend.
+"""Process-pool executor backend: persistent workers over a shm arena.
 
 Forked worker processes execute the per-machine task functions.  The
-immutable CSR topology (per-machine ``indptr``/``indices``/``weights``
-plus the master map) is published to POSIX shared memory once per bind;
-vertex-state arrays are mirrored into reusable segments before every
-map call, so workers build zero-copy views instead of unpickling
-megabytes per task.
+pool is spawned lazily on the first map and then **kept warm** for the
+executor's whole life — across ``Session.run`` calls, across engines,
+and across graph rebinds:
+
+* **Topology generations.**  The immutable CSR topology (per-machine
+  ``indptr``/``indices``/``weights`` plus the master map) is published
+  to POSIX shared memory once per bind under a generation tag.  Every
+  chunk message carries the current generation and (tiny) manifest;
+  a worker that sees a new generation re-attaches the new segments and
+  rebuilds its dataset context in place — **no respawn**.
+* **State adoption.**  On first contact with a
+  :class:`~repro.engine.state.StateStore`, its vertex arrays are
+  copied into dedicated segments *once* and the store's fields are
+  replaced with parent-side views over the same pages.  Slot writes in
+  the parent land directly in shared memory, so warm maps publish no
+  state bytes at all; workers cache their attached ``StateStore`` per
+  (generation, spec-version) and only scalars travel per map.
+* **Delta arena.**  Per-map payload arrays — frontier index sets,
+  candidate slices, dependency-bitmap and carried-data slices — go
+  through a double-buffered bump-allocated :class:`DeltaArena`
+  (preallocated, grown geometrically) instead of one segment per key.
+* **Chunked dispatch.**  The per-machine work units of one map call
+  are split into at most ``workers`` contiguous chunks — one IPC
+  round-trip per worker per superstep instead of one per machine —
+  and the flattened results come back in item order, so the parent's
+  deterministic ascending-machine merge is unchanged.
 
 Compiled artifacts never cross the process boundary: the parent strips
 an :class:`AnalyzedSignal` down to its original function (which pickles
@@ -14,6 +35,12 @@ spec locally, cached per function.  Anything that genuinely cannot be
 pickled — closure UDFs, exotic state objects — degrades gracefully:
 the map runs inline on the parent and the engine reports an
 ``exec_fallback`` event with the reason.
+
+A worker crash mid-map breaks the whole pool; the executor respawns it
+(visible as an ``exec_pool_spawn`` event with a bumped ``spawns``
+count) and retries the map's chunks once — tasks are pure, so a retry
+is safe.  A second consecutive crash raises
+:class:`~repro.errors.EngineError`.
 """
 
 from __future__ import annotations
@@ -24,78 +51,125 @@ import os
 import pickle
 import time
 import weakref
+from collections import deque
 from concurrent import futures
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.analysis.instrument import AnalyzedSignal
+from repro.errors import EngineError
 from repro.exec.base import Executor
-from repro.exec.shm import ShmArena, ship, unship
+from repro.exec.shm import DeltaArena, ShmArena, ship, unship
 
 __all__ = ["ProcessPoolExecutor"]
 
-_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+_CLEANUP: "weakref.WeakSet[Any]" = weakref.WeakSet()
 
 
 @atexit.register
-def _close_leaked_arenas() -> None:  # pragma: no cover - exit path
-    for arena in list(_ARENAS):
+def _close_leaked() -> None:  # pragma: no cover - exit path
+    for arena in list(_CLEANUP):
         arena.close()
 
 
 # -- worker side -----------------------------------------------------------
 
-_CTX = None
+# per-worker caches: dataset context per topology generation, state
+# store per (generation, spec version) — both survive across maps
+_WORKER: Dict[str, Any] = {
+    "gen": -1,
+    "ctx": None,
+    "state_key": None,
+    "state": None,
+}
 
 
-def _init_worker(manifest) -> None:
-    """Build the worker's dataset context from the shipped manifest."""
-    global _CTX
-    from repro.exec.work import WorkerContext
-    from repro.partition.base import LocalAdjacency
+def _worker_context(gen: int, manifest) -> Any:
+    ws = _WORKER
+    if ws["gen"] != gen:
+        from repro.exec.work import WorkerContext
+        from repro.partition.base import LocalAdjacency
 
-    data = unship(manifest)
-    local_in = [
-        LocalAdjacency(d["indptr"], d["indices"], d["weights"])
-        for d in data["local_in"]
-    ]
-    local_out = [
-        LocalAdjacency(d["indptr"], d["indices"], d["weights"])
-        for d in data["local_out"]
-    ]
-    _CTX = WorkerContext(
-        local_in, local_out, data["master_of"], data["num_vertices"]
-    )
+        data = unship(manifest)
+        local_in = [
+            LocalAdjacency(d["indptr"], d["indices"], d["weights"])
+            for d in data["local_in"]
+        ]
+        local_out = [
+            LocalAdjacency(d["indptr"], d["indices"], d["weights"])
+            for d in data["local_out"]
+        ]
+        ws["ctx"] = WorkerContext(
+            local_in, local_out, data["master_of"], data["num_vertices"]
+        )
+        ws["gen"] = gen
+        ws["state_key"] = None
+        ws["state"] = None
+    return ws["ctx"]
 
 
-def _build_state(state_spec):
+def _worker_state(gen: int, state_spec):
+    """(Re)build the worker's StateStore only when the spec changed.
+
+    Adopted arrays are live views of the parent's pages, so a cached
+    store is always current; only scalars are rebound per chunk.
+    """
     from repro.engine.state import StateStore
 
-    arrays, scalars, num_vertices = state_spec
-    state = StateStore(num_vertices)
-    for name, shipped in unship(arrays).items():
-        state.set(name, shipped)
+    arrays, scalars, num_vertices, version = state_spec
+    ws = _WORKER
+    key = (gen, version)
+    if ws["state_key"] != key:
+        state = StateStore(num_vertices)
+        for name, ref in arrays.items():
+            state.set(name, unship(ref))
+        ws["state"] = state
+        ws["state_key"] = key
+    state = ws["state"]
     for name, value in scalars.items():
         state.set(name, value)
     return state
 
 
-def _worker_run(fn, shared, item, state_spec, stall: float):
-    ctx = _CTX
-    ctx.state = _build_state(state_spec)
+def _run_chunk(payload: bytes) -> List[Any]:
+    """Execute one contiguous chunk of a map call's items."""
+    gen, manifest, fn, shared, items, state_spec, stalls = pickle.loads(
+        payload
+    )
+    ctx = _worker_context(gen, manifest)
+    ctx.state = _worker_state(gen, state_spec)
     shared = unship(shared)
-    item = unship(item)
-    t0 = time.perf_counter()
-    result = fn(ctx, shared, item)
-    if stall > 1.0:
-        time.sleep((stall - 1.0) * (time.perf_counter() - t0))
-    return result
+    out: List[Any] = []
+    for item, stall in zip(items, stalls):
+        item = unship(item)
+        t0 = time.perf_counter()
+        out.append(fn(ctx, shared, item))
+        if stall > 1.0:
+            time.sleep((stall - 1.0) * (time.perf_counter() - t0))
+    return out
 
 
 # -- parent side -----------------------------------------------------------
 
 
+class _StateRecord:
+    """Adoption bookkeeping for one StateStore."""
+
+    __slots__ = ("views", "refs", "keymap", "keys", "version")
+
+    def __init__(self) -> None:
+        self.views: Dict[str, np.ndarray] = {}
+        self.refs: Dict[str, tuple] = {}
+        self.keymap: Dict[str, str] = {}
+        # shared with the state's weakref finalizer, which retires
+        # whatever keys are live when the store is garbage-collected
+        self.keys: List[str] = []
+        self.version = 0
+
+
 class ProcessPoolExecutor(Executor):
-    """Run tasks on forked worker processes over shared-memory views."""
+    """Run tasks on persistent forked workers over shared-memory views."""
 
     kind = "process"
     parallel = True
@@ -104,25 +178,50 @@ class ProcessPoolExecutor(Executor):
         super().__init__(workers or os.cpu_count() or 1)
         self._pool: Optional[futures.ProcessPoolExecutor] = None
         self._arena = ShmArena()
-        _ARENAS.add(self._arena)
+        self._delta = DeltaArena(
+            on_grow=lambda cap: self.events.append(
+                ("arena_grow", {"arena": "delta", "bytes": int(cap)})
+            )
+        )
+        _CLEANUP.add(self._arena)
+        _CLEANUP.add(self._delta)
+        self._generation = 0
         self._manifest = None
+        self._topo_keys: List[str] = []
+        self._states: "weakref.WeakKeyDictionary[Any, _StateRecord]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._state_seq = 0
+        self._spec_seq = 0
+        self.spawns = 0
 
     # -- dataset publication ----------------------------------------------
 
     def _rebind(self) -> None:
+        """Publish the newly bound partition under a fresh generation.
+
+        The warm pool is untouched: workers notice the bumped
+        generation on their next chunk and re-attach in place.
+        """
         partition = self._partition
         p = partition.num_machines
+        self._generation += 1
+        g = self._generation
+        new_keys: List[str] = []
+
+        def put(key: str, array) -> tuple:
+            key = f"t{g}.{key}"
+            new_keys.append(key)
+            return self._arena.publish(key, array)
 
         def adjacency(local, key):
             return {
-                "indptr": self._arena.publish(f"{key}.indptr", local.indptr),
-                "indices": self._arena.publish(
-                    f"{key}.indices", local.indices
-                ),
+                "indptr": put(f"{key}.indptr", local.indptr),
+                "indices": put(f"{key}.indices", local.indices),
                 "weights": (
                     None
                     if local.weights is None
-                    else self._arena.publish(f"{key}.weights", local.weights)
+                    else put(f"{key}.weights", local.weights)
                 ),
             }
 
@@ -133,15 +232,11 @@ class ProcessPoolExecutor(Executor):
             "local_out": [
                 adjacency(partition.local_out(m), f"out{m}") for m in range(p)
             ],
-            "master_of": self._arena.publish(
-                "master_of", partition.master_of
-            ),
+            "master_of": put("master_of", partition.master_of),
             "num_vertices": int(partition.graph.num_vertices),
         }
-        if self._pool is not None:
-            # the old workers hold views of the previous partition
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._arena.retire_many(self._topo_keys)
+        self._topo_keys = new_keys
 
     def _ensure_pool(self) -> futures.ProcessPoolExecutor:
         if self._pool is None:
@@ -150,27 +245,83 @@ class ProcessPoolExecutor(Executor):
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 ctx = multiprocessing.get_context("spawn")
             self._pool = futures.ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(self._manifest,),
+                max_workers=self.workers, mp_context=ctx
+            )
+            self.spawns += 1
+            self.events.append(
+                (
+                    "pool_spawn",
+                    {
+                        "workers": int(self.workers),
+                        "generation": int(self._generation),
+                        "spawns": int(self.spawns),
+                    },
+                )
             )
         return self._pool
 
+    def _restart_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
     # -- per-call state sync ----------------------------------------------
 
-    def _state_spec(self, state):
-        import numpy as np
+    def _state_spec(self, state) -> Tuple[dict, dict, int, int]:
+        """Adopt the store's arrays into the arena; return the spec.
 
-        arrays: Dict[str, Any] = {}
+        Arrays already adopted (field still bound to the arena view)
+        cost nothing; new or rebound arrays are copied once and the
+        store's field is replaced with the shared view, so every later
+        parent write is immediately worker-visible.  The spec version
+        only moves when the array layout changed, which is what lets
+        workers keep their attached StateStore across maps.
+        """
+        rec = self._states.get(state)
+        if rec is None:
+            rec = _StateRecord()
+            self._states[state] = rec
+            # retire this store's segments when it is garbage-collected
+            # (rec.keys is mutated in place as fields come and go)
+            weakref.finalize(state, self._arena.retire_many, rec.keys)
+        arrays: Dict[str, tuple] = {}
         scalars: Dict[str, Any] = {}
+        changed = False
+        live = set()
         for name in state:
             value = getattr(state, name)
-            if isinstance(value, np.ndarray):
-                arrays[name] = self._arena.mirror(f"state.{name}", value)
+            if isinstance(value, np.ndarray) and not value.dtype.hasobject:
+                live.add(name)
+                if rec.views.get(name) is value:
+                    arrays[name] = rec.refs[name]
+                    continue
+                key = f"s{self._state_seq}"
+                self._state_seq += 1
+                view, ref = self._arena.adopt(key, value)
+                state.set(name, view)
+                old_key = rec.keymap.get(name)
+                if old_key is not None:
+                    self._arena.retire(old_key)
+                    rec.keys.remove(old_key)
+                rec.keys.append(key)
+                rec.keymap[name] = key
+                rec.views[name] = view
+                rec.refs[name] = ref
+                arrays[name] = ref
+                changed = True
             else:
                 scalars[name] = value
-        return arrays, scalars, int(state.num_vertices)
+        for name in set(rec.views) - live:
+            del rec.views[name]
+            del rec.refs[name]
+            old_key = rec.keymap.pop(name)
+            self._arena.retire(old_key)
+            rec.keys.remove(old_key)
+            changed = True
+        if changed:
+            self._spec_seq += 1
+            rec.version = self._spec_seq
+        return arrays, scalars, int(state.num_vertices), rec.version
 
     @staticmethod
     def _strip(shared: Dict[str, Any]) -> Dict[str, Any]:
@@ -181,41 +332,95 @@ class ProcessPoolExecutor(Executor):
             out["signal"] = signal.original
         return out
 
+    # -- dispatch ----------------------------------------------------------
+
     def map_machines(self, fn, shared, items, state, stalls=None):
         self.last_fallback = None
-        shipped_shared = ship(self._strip(shared), self._arena, "shared")
-        shipped_items = [
-            ship(item, self._arena, f"item{i}")
-            for i, item in enumerate(items)
-        ]
+        if not items:
+            return []
         state_spec = self._state_spec(state)
+        self._delta.begin()
+        shipped_shared = ship(self._strip(shared), self._delta)
+        shipped_items = [ship(item, self._delta) for item in items]
+        stall_list = [
+            float(stalls[int(item["m"])]) if stalls is not None else 1.0
+            for item in items
+        ]
+        n = len(items)
+        chunks = min(self.workers, n)
+        bounds = [
+            (n * c // chunks, n * (c + 1) // chunks) for c in range(chunks)
+        ]
         try:
-            pickle.dumps(
-                (fn, shipped_shared, shipped_items, state_spec),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            payloads = [
+                pickle.dumps(
+                    (
+                        self._generation,
+                        self._manifest,
+                        fn,
+                        shipped_shared,
+                        shipped_items[lo:hi],
+                        state_spec,
+                        stall_list[lo:hi],
+                    ),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                for lo, hi in bounds
+            ]
         except Exception as exc:
             # closure UDFs / exotic state objects: run inline instead
             self.last_fallback = f"{type(exc).__name__}: {exc}"
             ctx = self._ctx
             ctx.state = state
             return [fn(ctx, shared, item) for item in items]
+        return self._dispatch(payloads)
+
+    def _dispatch(self, payloads: List[bytes]) -> List[Any]:
+        """Submit chunk payloads; respawn + retry once after a crash."""
+        try:
+            return self._gather(payloads)
+        except futures.process.BrokenProcessPool:
+            self._restart_pool()
+            try:
+                return self._gather(payloads)
+            except futures.process.BrokenProcessPool:
+                self._restart_pool()
+                raise EngineError(
+                    "process executor lost its worker pool twice running "
+                    "one map; a task is killing its worker (see the "
+                    "exec_pool_spawn trace events for the respawn trail)"
+                ) from None
+
+    def _gather(self, payloads: List[bytes]) -> List[Any]:
         pool = self._ensure_pool()
-        pending = [
-            pool.submit(
-                _worker_run,
-                fn,
-                shipped_shared,
-                item,
-                state_spec,
-                float(stalls[int(item["m"])]) if stalls is not None else 1.0,
-            )
-            for item in shipped_items
-        ]
-        return [f.result() for f in pending]
+        pending = [pool.submit(_run_chunk, blob) for blob in payloads]
+        out: List[Any] = []
+        for fut in pending:
+            out.extend(fut.result())
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Warm-pool / arena numbers for benchmarks and ``/stats``."""
+        return {
+            "kind": self.kind,
+            "workers": int(self.workers),
+            "spawns": int(self.spawns),
+            "generation": int(self._generation),
+            "pool_live": self._pool is not None,
+            "publish_bytes": int(
+                self._arena.published_bytes + self._delta.written_bytes
+            ),
+            "state_publish_bytes": int(self._arena.published_bytes),
+            "delta_bytes": int(self._delta.written_bytes),
+            "delta_capacity": int(self._delta.capacity),
+            "delta_grows": int(self._delta.grow_count),
+        }
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._delta.close()
         self._arena.close()

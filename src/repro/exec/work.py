@@ -14,7 +14,12 @@ Task functions receive a :class:`WorkerContext` (graph topology + state
 + an analyzed-signal cache), a ``shared`` dict broadcast to every task
 of one map call, and one per-machine ``item`` dict.  They must not
 mutate anything reachable from the context: dependency-state writes are
-returned as explicit slices for the parent to apply.
+returned as explicit slices for the parent to apply.  The no-mutation
+rule is doubly load-bearing under the process backend, where the state
+arrays are shared-memory views aliased across every worker — a task
+that wrote to them would race its siblings *and* corrupt the parent's
+authoritative copy; purity is also what makes the executor's
+crash-retry (respawn the pool, rerun the map's chunks) safe.
 """
 
 from __future__ import annotations

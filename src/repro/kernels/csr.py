@@ -20,6 +20,16 @@ All kernels accept ``carried_in=(present, values)`` to restore
 loop-carried state forwarded by the circulant schedule; ``values``
 arrive as float64 (the :class:`~repro.engine.dep.DepStore` wire type),
 matching the interpreter's restored-value dtype behavior.
+
+Aliasing contract with the process executor: under the process backend
+the :class:`~repro.engine.state.StateStore` arrays a kernel reads are
+*adopted* shared-memory views aliased between the parent and every
+worker.  Kernels (and the tasks that call them) must treat them as
+read-only — all state mutation happens in the parent's merge step via
+the store's own arrays (``s.field[...] = ...``), which writes through
+to the shared pages in place.  Kernels never copy state arrays, so the
+fast path operates directly on the arena views with no per-map
+publication.
 """
 
 from __future__ import annotations

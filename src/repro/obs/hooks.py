@@ -196,6 +196,40 @@ class ObsHub:
         ).inc(backend=backend)
         self._emit("exec_fallback", backend=backend, reason=reason)
 
+    def exec_pool_spawn(self, backend: str, workers: int, generation: int,
+                        spawns: int) -> None:
+        """A persistent worker pool came up (first spawn or crash respawn)."""
+        self.metrics.counter(
+            "repro_exec_pool_spawns_total",
+            "worker pool spawns (first start + crash respawns)",
+            labels=("backend",),
+        ).inc(backend=backend)
+        self.metrics.gauge(
+            "repro_exec_pool_workers", "workers in the live pool",
+            labels=("backend",),
+        ).set(int(workers), backend=backend)
+        self.metrics.gauge(
+            "repro_exec_pool_generation",
+            "topology generation the pool is serving",
+            labels=("backend",),
+        ).set(int(generation), backend=backend)
+        self._emit("exec_pool_spawn", backend=backend, workers=int(workers),
+                   generation=int(generation), spawns=int(spawns))
+
+    def exec_arena_grow(self, backend: str, arena: str, bytes: int) -> None:
+        """A shared-memory arena grew geometrically to ``bytes`` capacity."""
+        self.metrics.counter(
+            "repro_exec_arena_grows_total",
+            "shared-memory arena geometric growths",
+            labels=("arena",),
+        ).inc(arena=arena)
+        self.metrics.gauge(
+            "repro_exec_arena_bytes", "shared-memory arena capacity",
+            labels=("arena",),
+        ).set(int(bytes), arena=arena)
+        self._emit("exec_arena_grow", backend=backend, arena=arena,
+                   bytes=int(bytes))
+
     def sync_update(self, record_index: int, nbytes: int) -> None:
         self._emit("sync_update", record=record_index, bytes=int(nbytes))
 

@@ -67,6 +67,11 @@ EVENT_KINDS: Dict[str, tuple] = {
     "exec_map_end": ("phase", "step", "backend", "tasks", "seconds"),
     # a concurrent backend ran one map inline (unpicklable payload)
     "exec_fallback": ("backend", "reason"),
+    # a persistent worker pool was (re)spawned — spawns > 1 means a
+    # crash respawn; generation tracks topology remaps without respawn
+    "exec_pool_spawn": ("backend", "workers", "generation", "spawns"),
+    # a shared-memory delta arena grew geometrically to a new capacity
+    "exec_arena_grow": ("backend", "arena", "bytes"),
     # out-of-phase sync broadcast (BaseEngine.sync_state)
     "sync_update": ("record", "bytes"),
     # implicit iteration record created by sync_state on a fresh engine

@@ -352,7 +352,12 @@ class ServeApp:
                 text = self.metrics.export_prometheus()
                 return 200, _TEXT, text.encode("utf-8"), None
             if method == "GET" and path == "/stats":
-                return _json_reply(200, self.metrics.snapshot())
+                stats = dict(self.metrics.snapshot())
+                stats["executors"] = {
+                    entry.name: entry.session.executor_stats()
+                    for entry in self.registry.entries()
+                }
+                return _json_reply(200, stats)
             if method == "GET" and path == "/graphs":
                 return _json_reply(200, {"graphs": self.registry.describe()})
             if method == "POST" and path == "/graphs":

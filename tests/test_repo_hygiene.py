@@ -1,0 +1,35 @@
+"""Repository hygiene: result artifacts must never live inside src/.
+
+Benchmark outputs (``BENCH_*.json``, metrics exports, trace files,
+fault-overhead reports) belong under ``benchmarks/results/``; anything
+matching those shapes inside ``src/`` is an accidentally committed
+artifact.  CI runs the same check as a shell step so the gate holds
+even when the test job is skipped.
+"""
+
+import fnmatch
+import os
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+ARTIFACT_PATTERNS = (
+    "BENCH_*.json",
+    "*_metrics.json",
+    "*metrics.json",
+    "fault_overhead*.txt",
+    "*.jsonl",
+    "*.sarif",
+    "*.prom",
+)
+
+
+def test_no_result_artifacts_inside_src():
+    stray = []
+    for root, _dirs, files in os.walk(SRC):
+        for name in files:
+            if any(fnmatch.fnmatch(name, p) for p in ARTIFACT_PATTERNS):
+                stray.append(os.path.join(root, name))
+    assert stray == [], (
+        f"result artifacts committed inside src/: {stray}; "
+        "benchmark outputs belong in benchmarks/results/"
+    )

@@ -402,6 +402,18 @@ class TestHttp:
         assert payload["requests_ok"] >= 1
         assert payload["latency_p99"] >= payload["latency_p50"] > 0
 
+    def test_stats_endpoint_reports_executor_pools(self, server):
+        """Warm-pool numbers of each graph's session surface in /stats."""
+        status, body = _get(server.port, "/stats")
+        payload = json.loads(body)
+        assert status == 200
+        executors = payload["executors"]
+        assert isinstance(executors, dict) and executors
+        for per_graph in executors.values():
+            for stats in per_graph.values():
+                assert stats["kind"] in ("serial", "thread", "process")
+                assert stats["workers"] >= 1
+
     def test_404_lists_routes(self, server):
         status, body = _get(server.port, "/nope")
         assert status == 404
