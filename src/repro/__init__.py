@@ -18,6 +18,10 @@ For driving an engine by hand (custom algorithms, single phases),
 """
 
 from repro.algorithms import (
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalKCore,
+    IncrementalResult,
     bfs,
     connected_components,
     coreness,
@@ -79,7 +83,15 @@ from repro.fault import (
     run_program,
     run_recoverable,
 )
-from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, rmat
+from repro.graph import (
+    CSRGraph,
+    DynamicGraph,
+    GraphBuilder,
+    MutationBatch,
+    MutationStats,
+    erdos_renyi,
+    rmat,
+)
 from repro.obs import (
     MetricsRegistry,
     ObsHub,
@@ -99,6 +111,8 @@ from repro.partition import (
     IncomingEdgeCut,
     OutgoingEdgeCut,
     Partition,
+    RefreshStats,
+    refresh_partition,
 )
 from repro.runtime import (
     DGALOIS_COST,
@@ -114,11 +128,16 @@ __version__ = "1.0.0"
 __all__ = [
     # graph
     "CSRGraph",
+    "DynamicGraph",
+    "MutationBatch",
+    "MutationStats",
     "GraphBuilder",
     "rmat",
     "erdos_renyi",
     # partition
     "Partition",
+    "RefreshStats",
+    "refresh_partition",
     "OutgoingEdgeCut",
     "IncomingEdgeCut",
     "HashVertexCut",
@@ -161,6 +180,10 @@ __all__ = [
     "pagerank",
     "scc",
     "sssp",
+    "IncrementalBFS",
+    "IncrementalCC",
+    "IncrementalKCore",
+    "IncrementalResult",
     # runtime
     "Bitmap",
     "CostModel",

@@ -19,6 +19,13 @@ from repro.algorithms.bfs import (
     bottom_up_signal,
 )
 from repro.algorithms.cc import CCResult, cc_signal, connected_components
+from repro.algorithms.incremental import (
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalKCore,
+    IncrementalResult,
+    relax_depth_signal,
+)
 from repro.algorithms.kcore import (
     KCoreProgram,
     KCoreResult,
@@ -44,6 +51,8 @@ from repro.algorithms.sssp import SSSPResult, sssp, sssp_multi, sssp_signal
 SIGNAL_UDFS = {
     "bfs": (bottom_up_signal,),
     "cc": (cc_signal,),
+    "incremental-bfs": (relax_depth_signal,),
+    "incremental-cc": (cc_signal,),
     "kcore": (kcore_signal,),
     "kmeans": (kmeans_signal,),
     "mis": (mis_signal,),
@@ -80,6 +89,11 @@ __all__ = [
     "connected_components",
     "cc_signal",
     "CCResult",
+    "IncrementalBFS",
+    "IncrementalCC",
+    "IncrementalKCore",
+    "IncrementalResult",
+    "relax_depth_signal",
     "pagerank",
     "pagerank_signal",
     "PageRankResult",

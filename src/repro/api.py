@@ -31,15 +31,24 @@ import json
 import threading
 import warnings
 import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.engine import SympleOptions, make_engine
-from repro.errors import EngineError, UnsupportedAlgorithmError, VerificationError
+from repro.errors import (
+    EngineError,
+    PartitionError,
+    UnsupportedAlgorithmError,
+    VerificationError,
+)
 from repro.exec import EXECUTOR_KINDS, Executor, make_executor
 from repro.fault import FaultPlan
 from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph, MutationBatch, MutationStats
+from repro.obs.hooks import ObsHub
 from repro.partition import CartesianVertexCut, OutgoingEdgeCut, Partition
+from repro.partition.delta import refresh_partition
 from repro.runtime.cost_model import CostModel
 
 __all__ = ["Checkpointing", "RunConfig", "Session"]
@@ -258,17 +267,33 @@ def _close_executors(executors: Dict[Any, Executor]) -> None:
 class Session:
     """Executes :class:`RunConfig` runs against one bound graph.
 
-    Partitions (per strategy and machine count) and executors (per
-    backend and worker count) are built once and reused across runs —
-    the process backend in particular publishes the CSR topology to
-    shared memory only when the partition it is bound to changes.
+    Partitions (per strategy, machine count, *and graph version*) and
+    executors (per backend and worker count) are built once and reused
+    across runs — the process backend in particular publishes the CSR
+    topology to shared memory only when the partition it is bound to
+    changes.
+
+    The bound graph may mutate: :meth:`mutate` applies a
+    :class:`~repro.graph.dynamic.MutationBatch`, bumps the session's
+    ``graph_version``, incrementally refreshes every cached partition
+    (dropping the ones whose strategy cannot refresh), and swaps in the
+    new snapshot — so the next run on a process executor republishes
+    the shared-memory topology under a fresh generation instead of
+    serving the stale one.
     """
 
-    def __init__(self, graph: CSRGraph,
+    def __init__(self, graph: Union[CSRGraph, DynamicGraph],
                  config: Optional[RunConfig] = None) -> None:
-        self.graph = graph
+        if isinstance(graph, DynamicGraph):
+            self._dynamic: Optional[DynamicGraph] = graph
+            self.graph = graph.snapshot()
+            self.graph_version = graph.version
+        else:
+            self._dynamic = None
+            self.graph = graph
+            self.graph_version = 0
         self.config = config if config is not None else RunConfig()
-        self._partitions: Dict[Tuple[str, int], Partition] = {}
+        self._partitions: Dict[Tuple[str, int, int], Partition] = {}
         self._executors: Dict[Tuple[str, Optional[int]], Executor] = {}
         self._verified: Set[Tuple[str, str]] = set()
         self._closed = False
@@ -287,11 +312,12 @@ class Session:
 
     # -- cached artifacts -------------------------------------------------
 
-    def _partition(self, config: RunConfig) -> Optional[Partition]:
+    def _partition(self, config: RunConfig, graph: CSRGraph,
+                   version: int) -> Optional[Partition]:
         if config.engine == "single":
             return None
         strategy = "vertexcut" if config.engine == "dgalois" else "edgecut"
-        key = (strategy, config.machines)
+        key = (strategy, config.machines, version)
         part = self._partitions.get(key)
         if part is None:
             with self._cache_lock:
@@ -302,9 +328,14 @@ class Session:
                         if strategy == "vertexcut"
                         else OutgoingEdgeCut()
                     )
-                    part = cut.partition(self.graph, config.machines)
+                    part = cut.partition(graph, config.machines)
                     self._partitions[key] = part
         return part
+
+    def _graph_snapshot(self) -> Tuple[CSRGraph, int]:
+        """Consistent (graph, version) pair under the cache lock."""
+        with self._cache_lock:
+            return self.graph, self.graph_version
 
     def _executor(self, config: RunConfig) -> Executor:
         if isinstance(config.executor, Executor):
@@ -417,7 +448,11 @@ class Session:
         from repro.bench.harness import _run_session_config
 
         self._preflight(config)
-        target = self._partition(config)
+        # one consistent (graph, version) snapshot: a concurrent mutate
+        # cannot hand this run a partition of one topology and the
+        # global graph of another
+        graph, version = self._graph_snapshot()
+        target = self._partition(config, graph, version)
         executor = self._executor(config)
         # executors carry per-bind context (worker pools, shm views, the
         # current state pointer), so concurrent runs sharing one must
@@ -426,14 +461,130 @@ class Session:
         with self._run_lock(executor):
             engine = make_engine(
                 config.engine,
-                self.graph if target is None else target,
+                graph if target is None else target,
                 config.machines,
                 options=config.options,
                 obs=config.obs,
                 executor=executor,
                 verify=config.verify,
             )
-            return _run_session_config(engine, self.graph, config)
+            return _run_session_config(engine, graph, config)
+
+    @contextmanager
+    def engine_context(self, config: Optional[RunConfig] = None,
+                       **overrides: Any):
+        """Yield ``(engine, graph, version)`` for hand-driven phases.
+
+        The engine is built over the session's cached partition and
+        executor for ``config`` (defaulting to the session config), and
+        the executor's run lock is held for the duration — the entry
+        point the incremental algorithms drive their pull phases
+        through.  The yielded graph/version pair is the consistent
+        snapshot the engine was built from, even if :meth:`mutate` runs
+        concurrently.
+        """
+        if self._closed:
+            raise EngineError("session is closed")
+        config = config if config is not None else self.config
+        if overrides:
+            config = config.replace(**overrides)
+        graph, version = self._graph_snapshot()
+        target = self._partition(config, graph, version)
+        executor = self._executor(config)
+        with self._run_lock(executor):
+            engine = make_engine(
+                config.engine,
+                graph if target is None else target,
+                config.machines,
+                options=config.options,
+                obs=config.obs,
+                executor=executor,
+                verify=config.verify,
+            )
+            yield engine, graph, version
+
+    # -- mutation ---------------------------------------------------------
+
+    def mutate(self, batch: MutationBatch, obs: Any = None) -> MutationStats:
+        """Apply one mutation batch to the session's graph.
+
+        Wraps a static graph in a :class:`DynamicGraph` on first use,
+        applies the batch (atomic; may auto-compact), incrementally
+        refreshes every cached partition of the current version (other
+        strategies are dropped and rebuilt on demand), and bumps
+        ``graph_version`` — which re-keys the partition cache, so the
+        next run binds a fresh partition object and the process
+        executor republishes its shared-memory topology under a new
+        generation instead of serving the stale one.
+
+        ``obs`` (an :class:`~repro.obs.hooks.ObsHub`, tracer, or trace
+        path) receives ``mutation_apply`` / ``mutation_compact`` /
+        ``partition_refresh`` events.
+        """
+        if self._closed:
+            raise EngineError("session is closed")
+        hub = None if obs is None else ObsHub.coerce(obs)
+        with self._cache_lock:
+            if self._dynamic is None:
+                self._dynamic = DynamicGraph(self.graph)
+                self.graph_version = self._dynamic.version
+            dyn = self._dynamic
+            stats = dyn.apply(batch)
+            new_graph = dyn.snapshot()
+            refreshed: Dict[Tuple[str, int, int], Partition] = {}
+            refresh_log = []
+            for (strategy, machines, version), part in \
+                    self._partitions.items():
+                if version != self.graph_version:
+                    continue  # superseded topology: let it rebuild
+                try:
+                    new_part, rstats = refresh_partition(
+                        part, new_graph, batch
+                    )
+                except PartitionError:
+                    continue  # strategy without incremental refresh
+                refreshed[(strategy, machines, dyn.version)] = new_part
+                refresh_log.append((strategy, machines, rstats))
+            self._partitions = refreshed
+            self.graph = new_graph
+            self.graph_version = dyn.version
+        if hub is not None:
+            hub.mutation_apply(
+                graph_version=stats.version,
+                inserts=stats.inserts,
+                deletes=stats.deletes,
+                add_vertices=stats.add_vertices,
+                overlay_edges=stats.overlay_edges,
+                num_edges=stats.num_edges,
+            )
+            if stats.compacted:
+                hub.mutation_compact(
+                    graph_version=stats.version,
+                    edges=stats.num_edges,
+                    compactions=dyn.compactions,
+                )
+            for strategy, machines, rstats in refresh_log:
+                hub.partition_refresh(
+                    strategy=strategy,
+                    machines=machines,
+                    graph_version=stats.version,
+                    touched_machines=len(rstats.touched_machines),
+                    reused_machines=rstats.reused_machines,
+                    schedule_cells=rstats.schedule_cells,
+                    total_cells=rstats.total_cells,
+                )
+        return stats
+
+    def mutations_since(self, version: int):
+        """``(version, batch)`` pairs applied after ``version``.
+
+        None when the session never mutated from that lineage (an
+        incremental handle must then recompute from scratch).
+        """
+        with self._cache_lock:
+            if self._dynamic is None:
+                return [] if version == self.graph_version else None
+            return self._dynamic.batches_since(version)
 
     # -- lifecycle --------------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph, MutationBatch, MutationStats
 from repro.graph.generators import (
     attach_chain,
     complete_graph,
@@ -40,6 +41,9 @@ from repro.graph.transform import (
 
 __all__ = [
     "CSRGraph",
+    "DynamicGraph",
+    "MutationBatch",
+    "MutationStats",
     "GraphBuilder",
     "rmat",
     "erdos_renyi",

@@ -39,14 +39,38 @@ def add_reverse_edges(graph: CSRGraph) -> CSRGraph:
     )
 
 
+def _unique_edge_pairs(src: np.ndarray, dst: np.ndarray):
+    """Deduplicate ``(src, dst)`` pairs without a composite integer key.
+
+    Returns ``(unique_src, unique_dst, inverse)`` where ``inverse`` maps
+    each input pair to its unique row.  Dedup runs on the stacked pair
+    columns directly, so it stays exact at any vertex count — the old
+    ``src * num_vertices + dst`` key overflowed int64 once
+    ``num_vertices**2`` passed ``2**63``.
+    """
+    pairs = np.stack([src, dst], axis=1)
+    unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+    return unique[:, 0], unique[:, 1], inverse.reshape(-1)
+
+
 def to_undirected(graph: CSRGraph) -> CSRGraph:
-    """Symmetrize: keep one copy of each direction, deduplicated."""
+    """Symmetrize: keep one copy of each direction, deduplicated.
+
+    Weighted graphs keep their weights: all parallel copies of
+    ``(u, v)`` and of the reverse ``(v, u)`` collapse to the *minimum*
+    weight among them, so the two surviving directions always agree and
+    the result is symmetric in weights as well as structure.
+    """
     src, dst = graph.edge_array()
     all_src = np.concatenate([src, dst])
     all_dst = np.concatenate([dst, src])
-    keys = all_src * graph.num_vertices + all_dst
-    _, first = np.unique(keys, return_index=True)
-    return CSRGraph(graph.num_vertices, all_src[first], all_dst[first])
+    uniq_src, uniq_dst, inverse = _unique_edge_pairs(all_src, all_dst)
+    weights = None
+    if graph.is_weighted:
+        doubled = np.concatenate([_sorted_weights(graph)] * 2)
+        weights = np.full(uniq_src.size, np.inf)
+        np.minimum.at(weights, inverse, doubled)
+    return CSRGraph(graph.num_vertices, uniq_src, uniq_dst, weights)
 
 
 def relabel(graph: CSRGraph, mapping: Sequence[int]) -> CSRGraph:

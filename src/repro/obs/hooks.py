@@ -278,6 +278,65 @@ class ObsHub:
                    restored=restored, from_scratch=from_scratch,
                    penalty=penalty)
 
+    # -- dynamic graphs ----------------------------------------------------
+
+    def mutation_apply(self, graph_version: int, inserts: int,
+                       deletes: int, add_vertices: int,
+                       overlay_edges: int, num_edges: int) -> None:
+        """One mutation batch committed to a session's dynamic graph."""
+        self.metrics.counter(
+            "repro_mutations_total", "mutation batches applied"
+        ).inc()
+        self.metrics.counter(
+            "repro_mutated_edges_total", "edges inserted or deleted",
+            labels=("op",),
+        ).inc(inserts, op="insert")
+        self.metrics.counter(
+            "repro_mutated_edges_total", "edges inserted or deleted",
+            labels=("op",),
+        ).inc(deletes, op="delete")
+        self.metrics.gauge(
+            "repro_graph_version", "current dynamic-graph version"
+        ).set(int(graph_version))
+        self.metrics.gauge(
+            "repro_overlay_edges", "pending overlay entries"
+        ).set(int(overlay_edges))
+        self._emit("mutation_apply", graph_version=int(graph_version),
+                   inserts=int(inserts), deletes=int(deletes),
+                   add_vertices=int(add_vertices),
+                   overlay_edges=int(overlay_edges),
+                   num_edges=int(num_edges))
+
+    def mutation_compact(self, graph_version: int, edges: int,
+                         compactions: int) -> None:
+        """The delta overlay was folded into a fresh base CSR."""
+        self.metrics.counter(
+            "repro_compactions_total", "overlay compactions"
+        ).inc()
+        self._emit("mutation_compact", graph_version=int(graph_version),
+                   edges=int(edges), compactions=int(compactions))
+
+    def partition_refresh(self, strategy: str, machines: int,
+                          graph_version: int, touched_machines: int,
+                          reused_machines: int, schedule_cells: int,
+                          total_cells: int) -> None:
+        """A cached partition was incrementally refreshed."""
+        self.metrics.counter(
+            "repro_partition_refreshes_total",
+            "incremental partition refreshes", labels=("strategy",),
+        ).inc(strategy=strategy)
+        self.metrics.counter(
+            "repro_schedule_cells_invalidated_total",
+            "circulant schedule cells dirtied by mutations",
+        ).inc(schedule_cells)
+        self._emit("partition_refresh", strategy=strategy,
+                   machines=int(machines),
+                   graph_version=int(graph_version),
+                   touched_machines=int(touched_machines),
+                   reused_machines=int(reused_machines),
+                   schedule_cells=int(schedule_cells),
+                   total_cells=int(total_cells))
+
     # -- run finalization --------------------------------------------------
 
     def run_end(self, engine, cost_model=None) -> None:

@@ -2,6 +2,12 @@
 
 from repro.partition.base import LocalAdjacency, Partition, Partitioner
 from repro.partition.chunking import balanced_chunks, chunk_of
+from repro.partition.delta import (
+    RefreshStats,
+    circulant_cells,
+    partition_with_masters,
+    refresh_partition,
+)
 from repro.partition.edge_cut import IncomingEdgeCut, OutgoingEdgeCut
 from repro.partition.hybrid import HybridCut
 from repro.partition.vertex_cut import (
@@ -16,6 +22,10 @@ __all__ = [
     "Partitioner",
     "balanced_chunks",
     "chunk_of",
+    "RefreshStats",
+    "circulant_cells",
+    "partition_with_masters",
+    "refresh_partition",
     "OutgoingEdgeCut",
     "IncomingEdgeCut",
     "HybridCut",

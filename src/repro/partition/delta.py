@@ -1,0 +1,238 @@
+"""Incremental partition refresh for mutated graphs.
+
+When a :class:`~repro.graph.dynamic.DynamicGraph` applies a batch, the
+session does not re-partition from scratch.  The master assignment is
+*frozen* at the partition's original chunking (re-sharding on every
+batch would defeat the warm shared-memory topology), and only the
+machines that own a mutated edge rebuild their local adjacency — every
+other machine keeps its exact :class:`~repro.partition.base.LocalAdjacency`
+objects, and its rows of the dependency bitmaps (``_has_in`` /
+``_has_out``, the structures that gate mirror placement and dependency
+sync) are carried over untouched.
+
+That selective invalidation is the SympleGraph twist: under the
+circulant schedule, machine ``m`` processes destination partition
+``j = (m + s + 1) mod p`` at step ``s``, so a mutated edge ``(u, v)``
+owned by machine ``m`` with ``master(v) = j`` dirties exactly the
+schedule cell ``(m, (j - m - 1) mod p)``.  :func:`circulant_cells`
+enumerates the dirty cells and :class:`RefreshStats` reports how much
+of the ``p x p`` schedule survived.
+
+Only the edge-cut families refresh incrementally (ownership is a pure
+function of the frozen masters); other strategies raise
+:class:`~repro.errors.PartitionError` and the caller rebuilds from
+scratch on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import MutationBatch
+from repro.partition.base import LocalAdjacency, Partition, _restrict_csr
+
+__all__ = [
+    "RefreshStats",
+    "circulant_cells",
+    "refresh_partition",
+    "partition_with_masters",
+]
+
+#: partition kinds whose edge ownership is a pure function of the
+#: frozen master assignment -> edge endpoints (incrementally refreshable)
+_REFRESHABLE = ("outgoing-edge-cut", "incoming-edge-cut")
+
+
+@dataclass
+class RefreshStats:
+    """What one incremental partition refresh invalidated."""
+
+    kind: str
+    num_machines: int
+    #: machines whose local adjacency was rebuilt
+    touched_machines: List[int]
+    #: machines whose LocalAdjacency objects were reused as-is
+    reused_machines: int
+    #: dirty circulant cells ``(machine, step)``
+    cells: List[Tuple[int, int]]
+    #: added isolated vertices (column extension only)
+    added_vertices: int
+
+    @property
+    def schedule_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def total_cells(self) -> int:
+        return self.num_machines * self.num_machines
+
+
+def circulant_cells(
+    owners: np.ndarray, dst_masters: np.ndarray, num_machines: int
+) -> List[Tuple[int, int]]:
+    """Dirty ``(machine, step)`` schedule cells for mutated edges.
+
+    ``owners[i]`` is the machine owning mutated edge i; ``dst_masters[i]``
+    is the master machine of its destination.  Machine ``m`` reaches
+    destination partition ``j`` at step ``s = (j - m - 1) mod p``
+    (inverse of ``circulant_partition``).
+    """
+    if owners.size == 0:
+        return []
+    steps = (dst_masters - owners - 1) % num_machines
+    cells = np.unique(
+        np.stack([owners, steps], axis=1), axis=0
+    )
+    return [(int(m), int(s)) for m, s in cells]
+
+
+def _edge_owners(
+    graph: CSRGraph, master_of: np.ndarray, kind: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(in_edge_owner, out_edge_owner) under a frozen master map."""
+    if kind == "outgoing-edge-cut":
+        in_key = graph.in_indices  # src, in dst-sorted order
+        out_key = np.repeat(
+            np.arange(graph.num_vertices), graph.out_degrees()
+        )
+    else:  # incoming-edge-cut
+        in_key = np.repeat(
+            np.arange(graph.num_vertices), graph.in_degrees()
+        )
+        out_key = graph.out_indices  # dst, in src-sorted order
+    empty = np.empty(0, dtype=np.int64)
+    in_owner = master_of[in_key] if in_key.size else empty
+    out_owner = master_of[out_key] if out_key.size else empty
+    return in_owner, out_owner
+
+
+def partition_with_masters(
+    graph: CSRGraph,
+    master_of: np.ndarray,
+    kind: str,
+    num_machines: int,
+) -> Partition:
+    """From-scratch partition under a *given* master assignment.
+
+    The reference implementation an incremental refresh must match
+    bit-for-bit (used by the metamorphic tests, and by callers that
+    want to re-partition a mutated graph while keeping placement).
+    """
+    if kind not in _REFRESHABLE:
+        raise PartitionError(
+            f"partition kind {kind!r} has no master-preserving rebuild; "
+            f"supported: {_REFRESHABLE}"
+        )
+    in_owner, out_owner = _edge_owners(graph, master_of, kind)
+    return Partition(
+        graph, master_of, in_owner, out_owner, kind,
+        num_machines=num_machines,
+    )
+
+
+def _extend_adjacency(adj: LocalAdjacency, added: int) -> LocalAdjacency:
+    """Widen an untouched machine's CSR to cover appended vertices."""
+    if added == 0:
+        return adj
+    indptr = np.concatenate([
+        adj.indptr, np.full(added, adj.indptr[-1], dtype=np.int64),
+    ])
+    return LocalAdjacency(indptr, adj.indices, adj.weights)
+
+
+def refresh_partition(
+    old: Partition, graph: CSRGraph, batch: MutationBatch
+) -> Tuple[Partition, RefreshStats]:
+    """Refresh ``old`` to cover ``graph`` after ``batch`` was applied.
+
+    ``graph`` must be the post-batch snapshot of the graph ``old`` was
+    built from.  Masters are frozen (appended vertices land on the last
+    machine, matching ``chunk_of`` for out-of-range ids); only machines
+    owning a mutated edge rebuild their local adjacency and dependency
+    bitmap rows.  The result is bit-identical to
+    :func:`partition_with_masters` on the same inputs.
+    """
+    if old.kind not in _REFRESHABLE:
+        raise PartitionError(
+            f"partition kind {old.kind!r} does not support incremental "
+            f"refresh; supported: {_REFRESHABLE}"
+        )
+    added = graph.num_vertices - old.graph.num_vertices
+    if added != batch.add_vertices or added < 0:
+        raise PartitionError(
+            f"refresh expects the post-batch snapshot: vertex delta "
+            f"{added} != batch.add_vertices {batch.add_vertices}"
+        )
+    p = old.num_machines
+    n = graph.num_vertices
+    master_of = old.master_of
+    if added:
+        master_of = np.concatenate([
+            master_of, np.full(added, p - 1, dtype=np.int64),
+        ])
+
+    # which machines own a mutated edge, under this strategy's rule
+    mut_src = np.concatenate([batch.insert_src, batch.delete_src])
+    mut_dst = np.concatenate([batch.insert_dst, batch.delete_dst])
+    if old.kind == "outgoing-edge-cut":
+        owners = master_of[mut_src] if mut_src.size else mut_src
+    else:
+        owners = master_of[mut_dst] if mut_dst.size else mut_dst
+    dst_masters = master_of[mut_dst] if mut_dst.size else mut_dst
+    touched = np.unique(owners)
+    cells = circulant_cells(owners, dst_masters, p)
+
+    in_owner, out_owner = _edge_owners(graph, master_of, old.kind)
+
+    part = Partition.__new__(Partition)
+    part.graph = graph
+    part.master_of = master_of
+    part.in_edge_owner = in_owner
+    part.out_edge_owner = out_owner
+    part.kind = old.kind
+    part.num_machines = p
+    touched_set = set(int(m) for m in touched)
+    part._local_in = []
+    part._local_out = []
+    for m in range(p):
+        if m in touched_set:
+            part._local_in.append(_restrict_csr(
+                n, graph.in_indptr, graph.in_indices, graph.in_weights,
+                in_owner, m,
+            ))
+            part._local_out.append(_restrict_csr(
+                n, graph.out_indptr, graph.out_indices, graph.out_weights,
+                out_owner, m,
+            ))
+        else:
+            part._local_in.append(_extend_adjacency(old._local_in[m], added))
+            part._local_out.append(
+                _extend_adjacency(old._local_out[m], added)
+            )
+    # dependency bitmaps: carry every row over, recompute only the rows
+    # of touched machines (column-extended for appended vertices)
+    if added:
+        pad = np.zeros((p, added), dtype=bool)
+        part._has_in = np.concatenate([old._has_in, pad], axis=1)
+        part._has_out = np.concatenate([old._has_out, pad], axis=1)
+    else:
+        part._has_in = old._has_in.copy()
+        part._has_out = old._has_out.copy()
+    for m in touched_set:
+        part._has_in[m] = part._local_in[m].degrees() > 0
+        part._has_out[m] = part._local_out[m].degrees() > 0
+
+    stats = RefreshStats(
+        kind=old.kind,
+        num_machines=p,
+        touched_machines=[int(m) for m in touched],
+        reused_machines=p - len(touched_set),
+        cells=cells,
+        added_vertices=added,
+    )
+    return part, stats

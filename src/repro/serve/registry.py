@@ -108,15 +108,21 @@ class GraphEntry:
         self.loaded_at = time.time()
 
     def describe(self) -> Dict[str, object]:
-        """JSON-ready facts for the ``/graphs`` endpoint."""
-        degrees = self.graph.out_degrees()
+        """JSON-ready facts for the ``/graphs`` endpoint.
+
+        Reads the session's *current* snapshot, not the load-time CSR,
+        so the advertised shape tracks ``POST /mutate``.
+        """
+        graph, version = self.session._graph_snapshot()
+        degrees = graph.out_degrees()
         sample = np.flatnonzero(degrees > 0)[:_SAMPLE_SOURCES]
         return {
             "name": self.name,
             "spec": self.spec,
-            "num_vertices": int(self.graph.num_vertices),
-            "num_edges": int(self.graph.num_edges),
-            "weighted": bool(self.graph.is_weighted),
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
+            "weighted": bool(graph.is_weighted),
+            "graph_version": int(version),
             "sample_sources": [int(v) for v in sample],
         }
 

@@ -36,6 +36,13 @@ Endpoints
     the run's metrics, the executed (possibly source-merged) config,
     and its ``digest`` — bit-identical to a direct ``Session.run`` of
     that config.
+``POST /mutate``
+    Apply ``{"graph": ..., "inserts": [[u, v], ...], "deletes":
+    [[u, v], ...], "add_vertices": n}`` as one atomic mutation batch
+    through :meth:`~repro.api.Session.mutate`.  Responds with the new
+    graph version and shape; later queries run against the mutated
+    topology (cached partitions are refreshed incrementally, executor
+    shared-memory republished on the next run).
 
 Graceful drain: SIGTERM (or :meth:`ServeApp.begin_drain`) closes the
 broker, lets the workers finish every admitted request, then stops the
@@ -52,8 +59,11 @@ import time
 from concurrent.futures import InvalidStateError
 from typing import Any, Dict, List, Optional, Tuple
 
+from dataclasses import asdict
+
 from repro.api import RunConfig
 from repro.errors import EngineError, ReproError, ServeError
+from repro.graph.dynamic import MutationBatch
 from repro.serve.batching import (
     Broker,
     BrokerClosed,
@@ -362,6 +372,8 @@ class ServeApp:
                 return _json_reply(200, {"graphs": self.registry.describe()})
             if method == "POST" and path == "/graphs":
                 return await self._admin_load(body)
+            if method == "POST" and path == "/mutate":
+                return await self._mutate(body)
             if method == "POST" and path == "/query":
                 payload = _parse_json(body)
                 timeout = None
@@ -379,7 +391,8 @@ class ServeApp:
                     "error": f"no route for {method} {path}",
                     "routes": [
                         "GET /healthz", "GET /metrics", "GET /stats",
-                        "GET /graphs", "POST /graphs", "POST /query",
+                        "GET /graphs", "POST /graphs", "POST /mutate",
+                        "POST /query",
                     ],
                 },
             )
@@ -410,6 +423,60 @@ class ServeApp:
             raise _HttpReply(400, {"error": str(exc)}) from None
         self._ensure_worker(entry.name)
         return _json_reply(201, {"loaded": entry.describe()})
+
+    async def _mutate(
+        self, body: bytes
+    ) -> Tuple[int, str, bytes, Optional[float]]:
+        payload = _parse_json(body)
+        if not isinstance(payload, dict):
+            raise _HttpReply(400, {"error": "request body must be an object"})
+        if self.draining:
+            raise _HttpReply(
+                503, {"error": "server is draining"}, retry_after=5.0
+            )
+        payload = dict(payload)
+        name = payload.pop("graph", None) or self.registry.default_name()
+        if name is None:
+            raise _HttpReply(
+                400,
+                {
+                    "error": "mutation must name a graph",
+                    "graphs": self.registry.names(),
+                },
+            )
+        try:
+            entry = self.registry.get(name)
+        except ServeError as exc:
+            raise _HttpReply(404, {"error": str(exc)}) from None
+        try:
+            batch = MutationBatch.from_dict(payload)
+        except (ReproError, TypeError, ValueError) as exc:
+            raise _HttpReply(
+                400, {"error": f"bad mutation batch: {exc}"}
+            ) from None
+        loop = asyncio.get_running_loop()
+        hub = self.metrics.hub()
+        t0 = time.perf_counter()
+        try:
+            # delete resolution + partition refresh walk edge arrays:
+            # off the event loop, like admin graph loads
+            stats = await loop.run_in_executor(
+                None, entry.session.mutate, batch, hub
+            )
+        except ReproError as exc:
+            raise _HttpReply(400, {"error": str(exc)}) from None
+        return _json_reply(
+            200,
+            {
+                "graph": entry.name,
+                "applied": asdict(stats),
+                "graph_version": stats.version,
+                "num_vertices": stats.num_vertices,
+                "num_edges": stats.num_edges,
+                "compacted": stats.compacted,
+                "latency_seconds": time.perf_counter() - t0,
+            },
+        )
 
 
 def _parse_json(body: bytes) -> Any:

@@ -320,5 +320,8 @@ class TestSessionThreadSafety:
             odd = session.run(config.replace(machines=3)).digest()
         assert {d for flavor, d in digests if flavor == 0} == {reference}
         assert {d for flavor, d in digests if flavor == 1} == {odd}
-        # exactly one partition per (strategy, machines) despite the race
-        assert sorted(session._partitions) == [("edgecut", 3), ("edgecut", 4)]
+        # exactly one partition per (strategy, machines, graph version)
+        # despite the race
+        assert sorted(session._partitions) == [
+            ("edgecut", 3, 0), ("edgecut", 4, 0),
+        ]

@@ -1,0 +1,364 @@
+"""Dynamic graphs: mutation batches, delta overlays, partition refresh.
+
+The contract under test: a :class:`DynamicGraph` that applied any batch
+sequence must snapshot to exactly the graph a from-scratch build of the
+surviving edge multiset produces, and an incrementally refreshed
+partition must be bit-identical to :func:`partition_with_masters` on
+the same (graph, frozen masters) — local adjacency, ownership arrays,
+and dependency bitmaps included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, PartitionError
+from repro.graph import (
+    CSRGraph,
+    DynamicGraph,
+    MutationBatch,
+    erdos_renyi,
+    to_undirected,
+)
+from repro.graph.generators import random_weights
+from repro.obs import ObsHub, Tracer, validate_events
+from repro.partition import (
+    IncomingEdgeCut,
+    OutgoingEdgeCut,
+    circulant_cells,
+    partition_with_masters,
+    refresh_partition,
+)
+from repro.partition.vertex_cut import HashVertexCut
+
+
+@pytest.fixture()
+def graph():
+    return to_undirected(erdos_renyi(48, 180, seed=5))
+
+
+def edge_multiset(g):
+    src, dst = g.edge_array()
+    pairs = {}
+    for u, v in zip(src.tolist(), dst.tolist()):
+        pairs[(u, v)] = pairs.get((u, v), 0) + 1
+    return pairs
+
+
+class TestMutationBatch:
+    def test_endpoints_must_parallel(self):
+        with pytest.raises(GraphError):
+            MutationBatch(insert_src=[1, 2], insert_dst=[3])
+        with pytest.raises(GraphError):
+            MutationBatch(delete_src=[1], delete_dst=[])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphError):
+            MutationBatch(insert_src=[-1], insert_dst=[0])
+
+    def test_negative_add_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            MutationBatch(add_vertices=-1)
+
+    def test_weights_must_parallel(self):
+        with pytest.raises(GraphError):
+            MutationBatch(insert_src=[0], insert_dst=[1],
+                          insert_weights=[0.5, 0.7])
+
+    def test_helpers_and_inspection(self):
+        b = MutationBatch.inserts([(0, 1), (2, 3)])
+        assert (b.num_inserts, b.num_deletes, b.empty) == (2, 0, False)
+        d = MutationBatch.deletes([(4, 5)])
+        assert (d.num_inserts, d.num_deletes) == (0, 1)
+        assert MutationBatch().empty
+        assert b.touched_vertices().tolist() == [0, 1, 2, 3]
+
+    def test_dict_round_trip(self):
+        b = MutationBatch(insert_src=[0, 1], insert_dst=[1, 2],
+                          insert_weights=[0.5, 0.25],
+                          delete_src=[3], delete_dst=[4], add_vertices=2)
+        r = MutationBatch.from_dict(b.to_dict())
+        assert np.array_equal(r.insert_src, b.insert_src)
+        assert np.array_equal(r.insert_weights, b.insert_weights)
+        assert np.array_equal(r.delete_dst, b.delete_dst)
+        assert r.add_vertices == 2
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(GraphError):
+            MutationBatch.from_dict({"inserts": [[1]]})
+        with pytest.raises(GraphError):
+            MutationBatch.from_dict({"inserts": [[1, 2], [1, 2, 0.5]]})
+        with pytest.raises(GraphError):
+            MutationBatch.from_dict({"frobnicate": 1})
+        with pytest.raises(GraphError):
+            MutationBatch.from_dict({"deletes": [[1, 2, 3]]})
+
+
+class TestDynamicGraph:
+    def test_insert_then_snapshot(self, graph):
+        dyn = DynamicGraph(graph)
+        stats = dyn.apply(MutationBatch.inserts([(0, 47), (47, 0)]))
+        assert stats.version == dyn.version == 1
+        assert stats.num_edges == graph.num_edges + 2
+        snap = dyn.snapshot()
+        assert snap.has_edge(0, 47) and snap.has_edge(47, 0)
+
+    def test_snapshot_identity_cached_per_version(self, graph):
+        dyn = DynamicGraph(graph)
+        assert dyn.snapshot() is dyn.snapshot()
+        dyn.apply(MutationBatch.inserts([(1, 2)]))
+        s1 = dyn.snapshot()
+        assert s1 is dyn.snapshot()
+
+    def test_delete_removes_every_live_copy(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 1), (1, 2)])
+        dyn = DynamicGraph(g)
+        stats = dyn.apply(MutationBatch.deletes([(0, 1)]))
+        assert stats.removed_copies == 2
+        assert edge_multiset(dyn.snapshot()) == {(1, 2): 1}
+
+    def test_delete_absent_edge_is_atomic(self, graph):
+        dyn = DynamicGraph(graph)
+        before = edge_multiset(dyn.snapshot())
+        bad = MutationBatch(insert_src=[0], insert_dst=[1],
+                            delete_src=[0], delete_dst=[0])
+        if not graph.has_edge(0, 0):
+            with pytest.raises(GraphError, match="absent edge"):
+                dyn.apply(bad)
+        assert dyn.version == 0
+        assert edge_multiset(dyn.snapshot()) == before
+
+    def test_delete_sees_pre_batch_edges_only(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        dyn = DynamicGraph(g)
+        # insert (1, 2) and delete (1, 2) in one batch: the delete runs
+        # against the pre-batch set, so it must fail atomically
+        with pytest.raises(GraphError, match="absent edge"):
+            dyn.apply(MutationBatch(insert_src=[1], insert_dst=[2],
+                                    delete_src=[1], delete_dst=[2]))
+
+    def test_delete_insert_log_edge(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        dyn = DynamicGraph(g, compact_min=10**9)
+        dyn.apply(MutationBatch.inserts([(1, 2), (1, 2)]))
+        stats = dyn.apply(MutationBatch.deletes([(1, 2)]))
+        assert stats.removed_copies == 2
+        assert edge_multiset(dyn.snapshot()) == {(0, 1): 1}
+
+    def test_out_of_range_endpoints_rejected(self, graph):
+        dyn = DynamicGraph(graph)
+        n = graph.num_vertices
+        with pytest.raises(GraphError, match="out of range"):
+            dyn.apply(MutationBatch.inserts([(0, n)]))
+        # but in range once add_vertices covers it
+        dyn.apply(MutationBatch(insert_src=[0], insert_dst=[n],
+                                add_vertices=1))
+        assert dyn.num_vertices == n + 1
+
+    def test_weight_consistency_enforced(self, graph):
+        weighted = random_weights(graph, seed=1)
+        dyn_w = DynamicGraph(weighted)
+        with pytest.raises(GraphError, match="must carry weights"):
+            dyn_w.apply(MutationBatch.inserts([(0, 1)]))
+        dyn_w.apply(MutationBatch.inserts([(0, 1)], weights=[0.5]))
+        dyn_u = DynamicGraph(graph)
+        with pytest.raises(GraphError, match="must not carry weights"):
+            dyn_u.apply(MutationBatch.inserts([(0, 1)], weights=[0.5]))
+
+    def test_weighted_snapshot_preserves_weights(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.5, 0.25])
+        dyn = DynamicGraph(g, compact_min=10**9)
+        dyn.apply(MutationBatch.inserts([(2, 0)], weights=[0.125]))
+        dyn.apply(MutationBatch.deletes([(0, 1)]))
+        snap = dyn.snapshot()
+        assert snap.is_weighted
+        assert snap.out_edge_weights(1).tolist() == [0.25]
+        assert snap.out_edge_weights(2).tolist() == [0.125]
+
+    def test_compaction_folds_overlay(self, graph):
+        dyn = DynamicGraph(graph, compact_ratio=0.0, compact_min=0)
+        stats = dyn.apply(MutationBatch.inserts([(0, 1)]))
+        assert stats.compacted
+        assert dyn.compactions == 1
+        assert dyn.overlay_edges == 0
+        assert dyn.base.num_edges == graph.num_edges + 1
+
+    def test_compaction_equivalent_to_overlay(self, graph):
+        eager = DynamicGraph(graph, compact_ratio=0.0, compact_min=0)
+        lazy = DynamicGraph(graph, compact_min=10**9)
+        src, dst = graph.edge_array()
+        batches = [
+            MutationBatch.inserts([(3, 9), (9, 3)]),
+            MutationBatch.deletes([(int(src[0]), int(dst[0]))]),
+            MutationBatch(insert_src=[48], insert_dst=[0], add_vertices=1),
+        ]
+        for b in batches:
+            eager.apply(b)
+            lazy.apply(b)
+        assert lazy.compactions == 0 and eager.compactions == 3
+        assert edge_multiset(eager.snapshot()) == \
+            edge_multiset(lazy.snapshot())
+        assert eager.num_vertices == lazy.num_vertices
+
+    def test_versioning_and_history(self, graph):
+        dyn = DynamicGraph(graph)
+        b1 = MutationBatch.inserts([(0, 1)])
+        b2 = MutationBatch.inserts([(1, 2)])
+        dyn.apply(b1)
+        dyn.apply(b2)
+        assert [v for v, _ in dyn.batches_since(0)] == [1, 2]
+        assert [b for _, b in dyn.batches_since(1)] == [b2]
+        assert dyn.batches_since(2) == []
+        assert dyn.batches_since(3) is None
+        assert dyn.batches_since(-1) is None
+
+    def test_apply_rejects_non_batch(self, graph):
+        with pytest.raises(GraphError, match="MutationBatch"):
+            DynamicGraph(graph).apply({"inserts": []})
+
+
+class TestCirculantCells:
+    def test_inverse_of_circulant_partition(self):
+        # machine m reaches destination partition j at step (j-m-1) % p
+        p = 4
+        owners = np.array([0, 0, 2, 3])
+        dst_masters = np.array([1, 3, 2, 0])
+        cells = circulant_cells(owners, dst_masters, p)
+        assert cells == sorted(cells)
+        for m, s in cells:
+            j = (m + s + 1) % p
+            assert (m, j) in set(zip(owners.tolist(), dst_masters.tolist()))
+
+    def test_deduplicates(self):
+        cells = circulant_cells(
+            np.array([1, 1, 1]), np.array([2, 2, 2]), 4
+        )
+        assert cells == [(1, 0)]
+
+    def test_empty(self):
+        assert circulant_cells(np.empty(0), np.empty(0), 4) == []
+
+
+class TestRefreshPartition:
+    @pytest.mark.parametrize("cut,kind", [
+        (OutgoingEdgeCut(), "outgoing-edge-cut"),
+        (IncomingEdgeCut(), "incoming-edge-cut"),
+    ])
+    def test_matches_from_scratch(self, graph, cut, kind):
+        part = cut.partition(graph, 4)
+        dyn = DynamicGraph(graph, compact_min=10**9)
+        src, dst = graph.edge_array()
+        batch = MutationBatch(
+            insert_src=[0, 11, 48], insert_dst=[11, 0, 1],
+            delete_src=[int(src[4]), int(dst[4])],
+            delete_dst=[int(dst[4]), int(src[4])],
+            add_vertices=1,
+        )
+        dyn.apply(batch)
+        snap = dyn.snapshot()
+        new_part, stats = refresh_partition(part, snap, batch)
+        ref = partition_with_masters(snap, new_part.master_of, kind, 4)
+        assert np.array_equal(new_part.master_of, ref.master_of)
+        assert np.array_equal(new_part.in_edge_owner, ref.in_edge_owner)
+        assert np.array_equal(new_part.out_edge_owner, ref.out_edge_owner)
+        for m in range(4):
+            for side in ("_local_in", "_local_out"):
+                got = getattr(new_part, side)[m]
+                want = getattr(ref, side)[m]
+                assert np.array_equal(got.indptr, want.indptr), (m, side)
+                assert np.array_equal(got.indices, want.indices), (m, side)
+        assert np.array_equal(new_part._has_in, ref._has_in)
+        assert np.array_equal(new_part._has_out, ref._has_out)
+        assert stats.added_vertices == 1
+        assert stats.kind == kind
+
+    def test_untouched_machines_reuse_objects(self, graph):
+        """No add_vertices: untouched machines keep the identical
+        LocalAdjacency objects — zero rebuild cost."""
+        part = OutgoingEdgeCut().partition(graph, 4)
+        # a vertex mastered by machine 0 under outgoing-edge-cut
+        v = int(np.flatnonzero(part.master_of == 0)[0])
+        w = int(graph.out_neighbors(v)[0])
+        batch = MutationBatch.deletes([(v, w)])
+        dyn = DynamicGraph(graph, compact_min=10**9)
+        dyn.apply(batch)
+        new_part, stats = refresh_partition(part, dyn.snapshot(), batch)
+        assert stats.touched_machines == [0]
+        assert stats.reused_machines == 3
+        for m in range(1, 4):
+            assert new_part._local_in[m] is part._local_in[m]
+            assert new_part._local_out[m] is part._local_out[m]
+
+    def test_schedule_cells_partial(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 4)
+        v = int(np.flatnonzero(part.master_of == 1)[0])
+        w = int(graph.out_neighbors(v)[0])
+        batch = MutationBatch.deletes([(v, w)])
+        dyn = DynamicGraph(graph, compact_min=10**9)
+        dyn.apply(batch)
+        _, stats = refresh_partition(part, dyn.snapshot(), batch)
+        # one mutated edge dirties exactly one circulant cell
+        assert stats.schedule_cells == 1
+        assert stats.total_cells == 16
+        (m, s), = stats.cells
+        assert m == 1
+        assert (m + s + 1) % 4 == int(part.master_of[w])
+
+    def test_unsupported_kind_raises(self, graph):
+        part = HashVertexCut().partition(graph, 4)
+        batch = MutationBatch.inserts([(0, 1)])
+        dyn = DynamicGraph(graph, compact_min=10**9)
+        dyn.apply(batch)
+        with pytest.raises(PartitionError, match="incremental"):
+            refresh_partition(part, dyn.snapshot(), batch)
+
+    def test_wrong_snapshot_rejected(self, graph):
+        part = OutgoingEdgeCut().partition(graph, 4)
+        batch = MutationBatch(insert_src=[0], insert_dst=[1],
+                              add_vertices=3)
+        with pytest.raises(PartitionError, match="post-batch"):
+            refresh_partition(part, graph, batch)
+
+
+class TestMutationObservability:
+    def test_events_and_counters(self, graph):
+        from repro.api import Session
+
+        hub = ObsHub(tracer=Tracer())
+        with Session(graph) as session:
+            session.run(algorithm="bfs", machines=4, bfs_roots=1)
+            session.mutate(
+                MutationBatch.inserts([(0, 40), (40, 0)]), obs=hub
+            )
+        events = [e for e in hub.tracer.events
+                  if e["kind"].startswith(("mutation_", "partition_"))]
+        kinds = [e["kind"] for e in events]
+        assert "mutation_apply" in kinds
+        assert "partition_refresh" in kinds
+        assert validate_events(hub.tracer.events) == []
+        apply_event = next(e for e in events
+                           if e["kind"] == "mutation_apply")
+        assert apply_event["graph_version"] == 1
+        assert apply_event["inserts"] == 2
+        refresh_event = next(e for e in events
+                             if e["kind"] == "partition_refresh")
+        assert refresh_event["machines"] == 4
+        assert 0 < refresh_event["schedule_cells"] <= 16
+        assert hub.metrics.counter(
+            "repro_mutations_total", "mutation batches applied"
+        ).value() == 1
+        assert hub.metrics.counter(
+            "repro_mutated_edges_total", "edges inserted or deleted",
+            labels=("op",),
+        ).value(op="insert") == 2
+
+    def test_compaction_event(self, graph):
+        from repro.api import Session
+        from repro.graph.dynamic import DynamicGraph as DG
+
+        hub = ObsHub(tracer=Tracer())
+        dyn = DG(graph, compact_ratio=0.0, compact_min=0)
+        with Session(dyn) as session:
+            session.mutate(MutationBatch.inserts([(0, 1)]), obs=hub)
+        kinds = [e["kind"] for e in hub.tracer.events]
+        assert "mutation_compact" in kinds
+        assert validate_events(hub.tracer.events) == []

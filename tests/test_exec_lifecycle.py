@@ -160,6 +160,79 @@ class TestPoolRestart:
         assert ex.spawns == 2  # initial spawn + one crash respawn
         ex.close()
 
+    def test_mutate_bumps_generation_not_pool(self, graph):
+        """Session.mutate must republish topology on the next run —
+        never serve the pre-mutation shared-memory CSR — while the
+        worker pool itself survives."""
+        from repro.graph.dynamic import MutationBatch
+
+        config = RunConfig(machines=4, executor="process", workers=2,
+                           bfs_roots=1)
+        with Session(graph, config) as session:
+            r0 = session.run(algorithm="bfs")
+            ex = session._executors[("process", 2)]
+            assert (ex.spawns, ex._generation) == (1, 1)
+            session.mutate(MutationBatch.inserts(
+                np.array([[0, 63], [63, 0]], dtype=np.int64)
+            ))
+            r1 = session.run(algorithm="bfs")
+            # rebind republished the mutated topology, no respawn
+            assert (ex.spawns, ex._generation) == (1, 2)
+            assert r1.digest() != r0.digest() or \
+                graph.has_edge(0, 63)  # digest moves unless edge existed
+            # a second run on the same version reuses the publication
+            session.run(algorithm="bfs")
+            assert (ex.spawns, ex._generation) == (1, 2)
+
+    def test_mutate_never_serves_stale_topology(self, graph):
+        """The engine result after mutate must reflect the new edges:
+        computed against a fresh session on the equivalent static
+        graph under the same (frozen) master placement, bit for bit."""
+        from repro.graph.dynamic import MutationBatch
+        from repro.partition import partition_with_masters
+
+        config = RunConfig(machines=4, executor="process", workers=2,
+                           bfs_roots=1, seed=3)
+        with Session(graph, config) as session:
+            stale = session.run(algorithm="bfs")
+            session.mutate(MutationBatch(
+                insert_src=np.array([0, 9], dtype=np.int64),
+                insert_dst=np.array([9, 0], dtype=np.int64),
+                insert_weights=None,
+                delete_src=np.empty(0, dtype=np.int64),
+                delete_dst=np.empty(0, dtype=np.int64),
+                add_vertices=0,
+            ))
+            mutated = session.run(algorithm="bfs")
+            snapshot, version = session._graph_snapshot()
+            assert version == 1
+            refreshed = session._partitions[("edgecut", 4, 1)]
+        assert mutated.digest() != stale.digest()
+        with Session(snapshot, config) as fresh:
+            # same master placement as the refreshed partition, built
+            # from scratch on the post-mutation static graph
+            fresh._partitions[("edgecut", 4, 0)] = partition_with_masters(
+                snapshot, refreshed.master_of, "outgoing-edge-cut", 4
+            )
+            expected = fresh.run(algorithm="bfs")
+        assert mutated.digest() == expected.digest()
+
+    def test_no_orphans_after_mutate_and_close(self, graph):
+        """Mutation-triggered republication must not leak segments."""
+        from repro.graph.dynamic import MutationBatch
+
+        before = shm_entries()
+        config = RunConfig(machines=4, executor="process", workers=2,
+                           bfs_roots=1)
+        with Session(graph, config) as session:
+            session.run(algorithm="bfs")
+            session.mutate(MutationBatch.inserts(
+                np.array([[1, 40], [40, 1]], dtype=np.int64)
+            ))
+            session.run(algorithm="bfs")
+        gc.collect()
+        assert shm_entries() - before == set()
+
     def test_pool_survives_rebind(self, bound_executor, graph):
         """A new graph remaps topology without respawning workers."""
         ex = bound_executor

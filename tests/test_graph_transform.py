@@ -17,7 +17,9 @@ from repro.graph import (
     to_undirected,
     with_vertex_weights,
 )
+from repro.graph.generators import random_weights
 from repro.graph.properties import is_symmetric
+from repro.graph.transform import _unique_edge_pairs
 
 
 class TestAddReverse:
@@ -47,6 +49,82 @@ class TestToUndirected:
         g = to_undirected(rmat(scale=6, edge_factor=4, seed=1))
         again = to_undirected(g)
         assert g.num_edges == again.num_edges
+
+    def test_weights_preserved(self):
+        """Regression: symmetrization used to silently drop weights."""
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.5, 0.25])
+        u = to_undirected(g)
+        assert u.is_weighted
+        assert u.out_edge_weights(0).tolist() == [0.5]
+        assert u.out_edge_weights(1).tolist() == [0.5, 0.25]
+        assert u.out_edge_weights(2).tolist() == [0.25]
+
+    def test_collision_resolves_to_min_weight(self):
+        """(u,v) and (v,u) with different weights collapse to the min,
+        so both surviving directions agree."""
+        g = CSRGraph.from_edges(
+            2, [(0, 1), (1, 0), (0, 1)], weights=[0.9, 0.3, 0.7]
+        )
+        u = to_undirected(g)
+        assert u.num_edges == 2
+        assert u.out_edge_weights(0).tolist() == [0.3]
+        assert u.out_edge_weights(1).tolist() == [0.3]
+
+    def test_weighted_result_symmetric_in_weights(self):
+        g = random_weights(rmat(scale=6, edge_factor=4, seed=2), seed=5)
+        u = to_undirected(g)
+        assert u.is_weighted and is_symmetric(u)
+        src, dst = u.edge_array()
+        w = u.out_weights
+        forward = {(int(a), int(b)): float(x)
+                   for a, b, x in zip(src, dst, w)}
+        for (a, b), x in forward.items():
+            assert forward[(b, a)] == x
+
+    def test_weighted_idempotent(self):
+        g = to_undirected(random_weights(rmat(scale=5, edge_factor=4,
+                                              seed=3), seed=9))
+        again = to_undirected(g)
+        assert again.num_edges == g.num_edges
+        assert np.array_equal(again.out_weights, g.out_weights)
+
+    def test_unweighted_stays_unweighted(self):
+        u = to_undirected(rmat(scale=5, edge_factor=4, seed=4))
+        assert not u.is_weighted
+
+
+class TestUniqueEdgePairs:
+    def test_matches_python_set(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 50, 500)
+        dst = rng.integers(0, 50, 500)
+        u_src, u_dst, inverse = _unique_edge_pairs(src, dst)
+        assert set(zip(u_src.tolist(), u_dst.tolist())) == \
+            set(zip(src.tolist(), dst.tolist()))
+        assert np.array_equal(u_src[inverse], src)
+        assert np.array_equal(u_dst[inverse], dst)
+
+    def test_no_int64_overflow_on_huge_ids(self):
+        """Regression: the old ``src * n + dst`` composite key wrapped
+        int64 for vertex ids past ``sqrt(2**63)``, silently merging
+        distinct pairs.  The pair-column dedup must keep them apart."""
+        big = np.int64(2**62)
+        src = np.array([big, big, 0, big - 1], dtype=np.int64)
+        dst = np.array([0, 1, big, big], dtype=np.int64)
+        u_src, u_dst, inverse = _unique_edge_pairs(src, dst)
+        assert u_src.size == 4  # all four pairs are distinct
+        assert np.array_equal(u_src[inverse], src)
+        assert np.array_equal(u_dst[inverse], dst)
+
+    def test_collision_prone_ids(self):
+        """Pairs engineered so the overflowed keys of distinct pairs
+        coincide: (a, 0) and (0, a) with a = 2**62 both hash to the
+        same wrapped key when n itself is huge."""
+        a = np.int64(2**62)
+        src = np.array([a, 0], dtype=np.int64)
+        dst = np.array([0, a], dtype=np.int64)
+        u_src, u_dst, _ = _unique_edge_pairs(src, dst)
+        assert u_src.size == 2
 
 
 class TestRelabel:
