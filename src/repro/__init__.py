@@ -50,7 +50,8 @@ from repro.engine import (
     SympleOptions,
     make_engine,
 )
-from repro.bench.harness import RunResult, run_algorithm
+from repro.algorithms.registry import AlgorithmSpec, all_specs, get_spec
+from repro.bench.harness import RunResult
 from repro.errors import (
     AnalysisError,
     ConvergenceError,
@@ -148,7 +149,10 @@ __all__ = [
     "RunConfig",
     "Checkpointing",
     "RunResult",
-    "run_algorithm",
+    # algorithm registry
+    "AlgorithmSpec",
+    "all_specs",
+    "get_spec",
     # executors
     "Executor",
     "SerialExecutor",

@@ -45,25 +45,28 @@ from repro.algorithms.sampling import (
 )
 from repro.algorithms.scc import SCCResult, scc, scc_reach_signal
 from repro.algorithms.sssp import SSSPResult, sssp, sssp_multi, sssp_signal
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    all_specs,
+    get_spec,
+    register,
+    signal_udfs,
+)
 
 #: algorithm name -> the signal UDF(s) its driver hands to the engine;
 #: the verification gate certifies exactly these before a run
-SIGNAL_UDFS = {
-    "bfs": (bottom_up_signal,),
-    "cc": (cc_signal,),
-    "incremental-bfs": (relax_depth_signal,),
-    "incremental-cc": (cc_signal,),
-    "kcore": (kcore_signal,),
-    "kmeans": (kmeans_signal,),
-    "mis": (mis_signal,),
-    "pagerank": (pagerank_signal,),
-    "sampling": (sampling_signal,),
-    "scc": (scc_reach_signal,),
-    "sssp": (sssp_signal,),
-}
+#: (derived from the registry — register a spec, not a dict entry)
+SIGNAL_UDFS = signal_udfs()
 
 __all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
     "SIGNAL_UDFS",
+    "all_specs",
+    "get_spec",
+    "register",
+    "signal_udfs",
     "bfs",
     "bfs_multi",
     "bottom_up_signal",

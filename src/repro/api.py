@@ -17,10 +17,12 @@ measurement protocol:
 
 ``session.run(config, machines=32)`` applies keyword overrides via
 :func:`dataclasses.replace`; ``run_many`` executes a sequence of
-configs against the same cached artifacts.  The legacy free functions
-(:func:`repro.bench.harness.run_algorithm`, extended positional
-:func:`repro.engine.make_engine`) remain as thin deprecated wrappers
-around this module.
+configs against the same cached artifacts.  Algorithm dispatch and
+validation derive from :mod:`repro.algorithms.registry` — one
+:class:`~repro.algorithms.registry.AlgorithmSpec` per algorithm is the
+single source of truth for what runs, resumes, takes sources, and
+supports the async mode.  (The pre-registry legacy free functions are
+gone; see the migration stanza in ``docs/API.md``.)
 """
 
 from __future__ import annotations
@@ -35,7 +37,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from repro.algorithms.registry import (
+    MODES,
+    get_spec,
+    resumable_algorithms,
+    sourced_algorithms,
+)
 from repro.engine import SympleOptions, make_engine
+from repro.engine.async_mode import ASYNC_ENGINES
 from repro.errors import (
     EngineError,
     PartitionError,
@@ -54,12 +63,11 @@ from repro.runtime.cost_model import CostModel
 __all__ = ["Checkpointing", "RunConfig", "Session"]
 
 _ENGINE_KINDS = ("gemini", "symple", "dgalois", "single")
-_ALGORITHMS = ("bfs", "kcore", "mis", "kmeans", "sampling", "sssp")
-_RESUMABLE = ("bfs", "kcore", "mis")
 _VERIFY_MODES = ("off", "warn", "strict")
 #: algorithms that accept an explicit ``sources`` tuple — the
 #: multi-source batch entry the serving layer coalesces requests into
-SOURCED_ALGORITHMS = ("bfs", "sssp")
+#: (registry-derived; kept as a module constant for importers)
+SOURCED_ALGORITHMS = sourced_algorithms()
 
 
 @dataclass(frozen=True)
@@ -88,7 +96,7 @@ class Checkpointing:
 class RunConfig:
     """Frozen description of one experiment run.
 
-    Everything the old ``run_algorithm`` keyword pile expressed, as one
+    Everything the retired legacy keyword pile expressed, as one
     value that can be stored, compared, replaced field-wise
     (:func:`dataclasses.replace`), and round-tripped through
     :meth:`to_dict`/:meth:`from_dict` (minus the two live objects,
@@ -112,6 +120,8 @@ class RunConfig:
     kcore_k: int = 8
     kmeans_rounds: int = 2
     sources: Optional[Tuple[int, ...]] = None
+    mode: str = "sync"
+    async_bucket_width: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINE_KINDS:
@@ -119,11 +129,41 @@ class RunConfig:
                 f"unknown engine {self.engine!r}; "
                 f"expected one of {_ENGINE_KINDS}"
             )
-        if self.algorithm not in _ALGORITHMS:
+        spec = get_spec(self.algorithm)
+        if not spec.runnable:
             raise EngineError(
-                f"unknown algorithm {self.algorithm!r}; "
-                f"expected one of {_ALGORITHMS}"
+                f"algorithm {self.algorithm!r} is signal-only; it has "
+                "no Session.run driver"
             )
+        if self.mode not in MODES:
+            raise EngineError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.mode == "async":
+            if self.engine not in ASYNC_ENGINES:
+                raise EngineError(
+                    f"mode='async' needs per-bucket activation, which "
+                    f"the {self.engine!r} engine does not support; "
+                    f"use one of {ASYNC_ENGINES}"
+                )
+            if not spec.supports_mode("async"):
+                from repro.algorithms.registry import async_algorithms
+
+                raise EngineError(
+                    f"algorithm {self.algorithm!r} has no async driver; "
+                    f"mode='async' supports {async_algorithms()}"
+                )
+        if self.async_bucket_width is not None:
+            if self.mode != "async":
+                raise EngineError(
+                    "async_bucket_width only applies to mode='async' "
+                    f"runs, but mode is {self.mode!r}"
+                )
+            if not self.async_bucket_width > 0:
+                raise EngineError(
+                    f"async_bucket_width must be > 0, "
+                    f"got {self.async_bucket_width}"
+                )
         if self.machines < 1:
             raise EngineError(
                 f"machines must be >= 1, got {self.machines}"
@@ -150,7 +190,7 @@ class RunConfig:
                 f"expected one of {_VERIFY_MODES}"
             )
         if self.sources is not None:
-            if self.algorithm not in SOURCED_ALGORITHMS:
+            if not spec.sourced:
                 raise EngineError(
                     f"sources= selects explicit roots for "
                     f"{SOURCED_ALGORITHMS}; the {self.algorithm!r} "
@@ -171,11 +211,19 @@ class RunConfig:
                     f"got {normalized}"
                 )
             object.__setattr__(self, "sources", normalized)
-        if self.faulted and self.algorithm not in _RESUMABLE:
-            raise UnsupportedAlgorithmError(
-                f"{self.algorithm} is not a resumable program; fault "
-                "injection and checkpointing support bfs, kcore, and mis"
-            )
+        if self.faulted:
+            if not spec.resumable:
+                raise UnsupportedAlgorithmError(
+                    f"{self.algorithm} is not a resumable program; "
+                    "fault injection and checkpointing support "
+                    f"{resumable_algorithms()}"
+                )
+            if self.mode == "async" and not spec.async_resumable:
+                raise UnsupportedAlgorithmError(
+                    f"{self.algorithm} has no recoverable async "
+                    "driver; drop faults/checkpointing or run "
+                    "mode='sync'"
+                )
 
     @property
     def faulted(self) -> bool:
@@ -221,6 +269,8 @@ class RunConfig:
             "kcore_k": self.kcore_k,
             "kmeans_rounds": self.kmeans_rounds,
             "sources": None if self.sources is None else list(self.sources),
+            "mode": self.mode,
+            "async_bucket_width": self.async_bucket_width,
         }
 
     def digest(self) -> str:
@@ -443,8 +493,8 @@ class Session:
         }
 
     def _execute(self, config: RunConfig):
-        # imported here: harness imports this module for the legacy
-        # wrapper, so the dependency must stay one-way at import time
+        # imported lazily so the bench package is an execution-time
+        # dependency only, not an import-time one
         from repro.bench.harness import _run_session_config
 
         self._preflight(config)

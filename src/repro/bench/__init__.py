@@ -1,7 +1,7 @@
 """Benchmark harness: datasets, runner, table formatting."""
 
 from repro.bench.datasets import DATASETS, DatasetSpec, dataset, dataset_names
-from repro.bench.harness import ALGORITHMS, RunResult, run_algorithm, speedup
+from repro.bench.harness import ALGORITHMS, RunResult, speedup
 from repro.bench.sweeps import (
     SweepResult,
     kcore_sweep,
@@ -21,7 +21,6 @@ __all__ = [
     "dataset_names",
     "ALGORITHMS",
     "RunResult",
-    "run_algorithm",
     "speedup",
     "format_table",
     "geomean",

@@ -7,38 +7,25 @@ communication breakdown.  BFS follows the paper's multi-root protocol
 (random non-isolated roots, averaged).
 
 The supported entry point is :class:`repro.Session` with a
-:class:`repro.RunConfig`; :func:`run_algorithm` remains as a thin
-deprecated wrapper over it.
+:class:`repro.RunConfig`; dispatch goes through
+:mod:`repro.algorithms.registry`, whose per-algorithm runners drive
+the prepared engine and report a
+:class:`~repro.algorithms.registry.RunOutcome` back here.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
-
-from repro.algorithms import (
-    BFSProgram,
-    KCoreProgram,
-    MISProgram,
-    bfs_multi,
-    kmeans,
-    sample_neighbors,
-    sssp_multi,
-)
-from repro.engine import SympleOptions
+from repro.algorithms.registry import ALGORITHMS, get_spec
 from repro.engine.base import BaseEngine
-from repro.fault import FaultPlan, run_program, run_recoverable
+from repro.fault import run_program, run_recoverable
 from repro.graph.csr import CSRGraph
-from repro.runtime.cost_model import CostModel
 
-__all__ = ["RunResult", "run_algorithm", "ALGORITHMS", "speedup"]
-
-ALGORITHMS = ("bfs", "kcore", "mis", "kmeans", "sampling")
+__all__ = ["RunResult", "ALGORITHMS", "speedup"]
 
 
 @dataclass
@@ -56,6 +43,10 @@ class RunResult:
     push_bytes: int
     total_bytes: int
     extra: Dict[str, float] = field(default_factory=dict)
+    #: digest of the converged algorithm output alone (no
+    #: schedule-dependent metadata) — what sync-vs-async equivalence
+    #: compares; None for algorithms without a canonical fixpoint
+    fixpoint: Optional[str] = None
 
     @property
     def non_dep_bytes(self) -> int:
@@ -76,6 +67,7 @@ class RunResult:
             "push_bytes": self.push_bytes,
             "total_bytes": self.total_bytes,
             "extra": dict(self.extra),
+            "fixpoint": self.fixpoint,
         }
 
     @classmethod
@@ -94,36 +86,6 @@ class RunResult:
             self.to_dict(), sort_keys=True, separators=(",", ":")
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-def _bfs_roots(graph: CSRGraph, num_roots: int, seed: int) -> np.ndarray:
-    """Random non-isolated roots (the paper uses 64 of them)."""
-    rng = np.random.default_rng(seed)
-    candidates = np.flatnonzero(graph.out_degrees() > 0)
-    if candidates.size == 0:
-        raise ValueError("graph has no non-isolated vertex to root BFS at")
-    count = min(num_roots, candidates.size)
-    return rng.choice(candidates, size=count, replace=False)
-
-
-def _run_sources(graph: CSRGraph, config, default_count: int) -> np.ndarray:
-    """The roots/sources one run traverses from.
-
-    Explicit ``config.sources`` (validated against the graph) when the
-    caller — typically the serving layer's batching coalescer — pinned
-    them; otherwise the seeded multi-root protocol.
-    """
-    if config.sources is None:
-        return _bfs_roots(graph, default_count, config.seed)
-    sources = np.asarray(config.sources, dtype=np.int64)
-    n = graph.num_vertices
-    bad = sources[(sources < 0) | (sources >= n)]
-    if bad.size:
-        raise ValueError(
-            f"sources {bad.tolist()} out of range for a graph with "
-            f"{n} vertices"
-        )
-    return sources
 
 
 def _merge_report(extra: Dict[str, float], report) -> None:
@@ -145,10 +107,12 @@ def _merge_report(extra: Dict[str, float], report) -> None:
 def _run_session_config(engine: BaseEngine, graph: CSRGraph, config):
     """Drive one :class:`repro.RunConfig` on a prepared engine.
 
-    The measurement core shared by :meth:`repro.Session.run` and the
-    legacy :func:`run_algorithm` wrapper: multi-root BFS averaging,
-    the recoverable driver when faults/checkpointing are configured,
-    per-algorithm extra metrics, and the ``run_end`` obs event.
+    The measurement core behind :meth:`repro.Session.run`: looks up the
+    algorithm's registered runner, hands it a ``drive`` closure that
+    routes :class:`~repro.fault.program.VertexProgram` executions
+    through the plain or the recoverable driver (merging
+    RecoveryReports into the extras), and collects the counters under
+    the outcome's averaging scale.
     """
     extra: Dict[str, float] = {}
     faulted = config.faulted
@@ -167,178 +131,19 @@ def _run_session_config(engine: BaseEngine, graph: CSRGraph, config):
         _merge_report(extra, report)
         return result
 
-    algorithm = config.algorithm
-    if algorithm in ("bfs", "sssp"):
-        roots = _run_sources(
-            graph, config, config.bfs_roots if algorithm == "bfs" else 1
-        )
-        if algorithm == "sssp":
-            results = sssp_multi(engine, [int(r) for r in roots])
-        elif faulted:
-            results = [drive(BFSProgram(int(root))) for root in roots]
-        else:
-            # the multi-source batch entry: identical program sequence,
-            # one engine serving the whole batch
-            results = bfs_multi(engine, [int(r) for r in roots])
-        reached = sum(result.reached for result in results)
-        extra["avg_reached"] = reached / len(roots)
-        if config.sources is not None:
-            # explicit sources get per-source answers in the result so
-            # a coalesced serving batch can answer every request
-            for root, result in zip(roots, results):
-                extra[f"reached[{int(root)}]"] = float(result.reached)
-        time = engine.execution_time(cost_model) / len(roots)
-        if engine.obs is not None:
-            engine.obs.run_end(engine, cost_model)
-        return _collect(engine, algorithm, time, extra, scale=1.0 / len(roots))
-    if algorithm == "kcore":
-        result = drive(KCoreProgram(config.kcore_k))
-        extra["core_size"] = result.size
-        extra["rounds"] = result.rounds
-    elif algorithm == "mis":
-        result = drive(MISProgram(seed=config.seed))
-        extra["mis_size"] = result.size
-        extra["rounds"] = result.rounds
-    elif algorithm == "kmeans":
-        result = kmeans(
-            engine, rounds=config.kmeans_rounds, seed=config.seed
-        )
-        extra["assigned"] = result.assigned_count
-    elif algorithm == "sampling":
-        result = sample_neighbors(engine, seed=config.seed)
-        extra["sampled"] = result.sampled_count
-
-    time = engine.execution_time(cost_model)
+    spec = get_spec(config.algorithm)
+    outcome = spec.runner(engine, graph, config, drive, extra)
+    time = engine.execution_time(cost_model) * outcome.scale
     if engine.obs is not None:
         engine.obs.run_end(engine, cost_model)
-    return _collect(engine, algorithm, time, extra)
-
-
-# keyword arguments whose use marks a caller for the Session migration
-_LEGACY_KWARGS = (
-    "options",
-    "cost_model",
-    "fault_plan",
-    "checkpoint_interval",
-    "retention",
-    "obs",
-)
-
-
-def run_algorithm(
-    engine_kind: str,
-    graph: CSRGraph,
-    algorithm: str,
-    num_machines: int = 16,
-    seed: int = 0,
-    *legacy,
-    options: Optional[SympleOptions] = None,
-    cost_model: Optional[CostModel] = None,
-    bfs_roots: int = 3,
-    kcore_k: int = 8,
-    kmeans_rounds: int = 2,
-    fault_plan: Optional[FaultPlan] = None,
-    checkpoint_interval: int = 0,
-    retention: int = 2,
-    obs=None,
-    executor=None,
-    workers: Optional[int] = None,
-) -> RunResult:
-    """Deprecated thin wrapper over :class:`repro.Session`.
-
-    Kept so existing call sites run unchanged, but any use of the
-    legacy keyword pile (``options``, ``cost_model``, ``fault_plan``,
-    ``checkpoint_interval``, ``retention``, ``obs``) or positional
-    arguments beyond ``seed`` raises a :class:`DeprecationWarning`
-    pointing at :class:`repro.RunConfig`.  The simple positional core —
-    engine kind, graph, algorithm, machines, seed — stays silent, as do
-    the per-algorithm conveniences (``bfs_roots``, ``kcore_k``,
-    ``kmeans_rounds``) and the executor selection.
-    """
-    from repro.api import Checkpointing, RunConfig, Session
-
-    if algorithm not in ALGORITHMS:
-        # the historical contract of this wrapper (RunConfig raises
-        # EngineError for the same misuse)
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-        )
-    legacy_used = [
-        name
-        for name, value, default in (
-            ("options", options, None),
-            ("cost_model", cost_model, None),
-            ("fault_plan", fault_plan, None),
-            ("checkpoint_interval", checkpoint_interval, 0),
-            ("retention", retention, 2),
-            ("obs", obs, None),
-        )
-        if value != default
-    ]
-    if legacy or legacy_used:
-        detail = (
-            f"keyword arguments {legacy_used} are"
-            if legacy_used
-            else "positional arguments beyond seed are"
-        )
-        warnings.warn(
-            f"run_algorithm's legacy {detail} deprecated; build a "
-            "repro.RunConfig and run it through repro.Session",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    if legacy:
-        # old order: options, cost_model, bfs_roots, kcore_k,
-        # kmeans_rounds, fault_plan, checkpoint_interval, retention, obs
-        names = (
-            "options",
-            "cost_model",
-            "bfs_roots",
-            "kcore_k",
-            "kmeans_rounds",
-            "fault_plan",
-            "checkpoint_interval",
-            "retention",
-            "obs",
-        )
-        if len(legacy) > len(names):
-            raise TypeError(
-                f"run_algorithm takes at most {5 + len(names)} "
-                "positional arguments"
-            )
-        values = dict(zip(names, legacy))
-        options = values.get("options", options)
-        cost_model = values.get("cost_model", cost_model)
-        bfs_roots = values.get("bfs_roots", bfs_roots)
-        kcore_k = values.get("kcore_k", kcore_k)
-        kmeans_rounds = values.get("kmeans_rounds", kmeans_rounds)
-        fault_plan = values.get("fault_plan", fault_plan)
-        checkpoint_interval = values.get(
-            "checkpoint_interval", checkpoint_interval
-        )
-        retention = values.get("retention", retention)
-        obs = values.get("obs", obs)
-
-    config = RunConfig(
-        engine=engine_kind,
-        algorithm=algorithm,
-        machines=num_machines,
-        seed=seed,
-        options=options,
-        faults=fault_plan,
-        checkpointing=Checkpointing(
-            interval=checkpoint_interval, retention=retention
-        ),
-        obs=obs,
-        executor=executor if executor is not None else "serial",
-        workers=workers,
-        cost_model=cost_model,
-        bfs_roots=bfs_roots,
-        kcore_k=kcore_k,
-        kmeans_rounds=kmeans_rounds,
+    return _collect(
+        engine,
+        config.algorithm,
+        time,
+        extra,
+        scale=outcome.scale,
+        fixpoint=outcome.fixpoint,
     )
-    with Session(graph, config) as session:
-        return session.run()
 
 
 def _collect(
@@ -347,6 +152,7 @@ def _collect(
     simulated_time: float,
     extra: Dict[str, float],
     scale: float = 1.0,
+    fixpoint: Optional[str] = None,
 ) -> RunResult:
     c = engine.counters
     return RunResult(
@@ -361,6 +167,7 @@ def _collect(
         push_bytes=int(c.push_bytes * scale),
         total_bytes=int(c.total_bytes * scale),
         extra=extra,
+        fixpoint=fixpoint,
     )
 
 

@@ -276,6 +276,17 @@ def _add_run_args(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--kcore-k", type=int, default=8)
     cmd.add_argument("--bfs-roots", type=int, default=3)
     cmd.add_argument(
+        "--mode", default="sync", choices=("sync", "async"),
+        help="execution mode: BSP supersteps (sync) or the "
+        "priority-bucket scheduler (async; bfs/cc/pagerank/sssp on "
+        "the symple/gemini/single engines)",
+    )
+    cmd.add_argument(
+        "--bucket-width", type=float, default=None, metavar="W",
+        help="async bucket width (priority range per bucket; "
+        "default: a per-algorithm heuristic)",
+    )
+    cmd.add_argument(
         "--no-double-buffering", action="store_true",
         help="disable the double-buffering optimization",
     )
@@ -334,6 +345,8 @@ def _run_config(engine: str, args, obs=None) -> RunConfig:
         workers=getattr(args, "workers", None),
         bfs_roots=args.bfs_roots,
         kcore_k=args.kcore_k,
+        mode=getattr(args, "mode", "sync"),
+        async_bucket_width=getattr(args, "bucket_width", None),
     )
 
 

@@ -1,6 +1,5 @@
 """Distributed engines: Gemini, SympleGraph, D-Galois, single-thread."""
 
-import warnings
 from typing import Optional, Union
 
 from repro.engine.base import BaseEngine, PullResult, PushResult
@@ -42,7 +41,7 @@ def make_engine(
     kind: str,
     graph_or_partition: Union[CSRGraph, Partition],
     num_machines: int = 16,
-    *legacy,
+    *,
     options: Optional[SympleOptions] = None,
     obs=None,
     executor=None,
@@ -70,22 +69,6 @@ def make_engine(
     :class:`repro.RunConfig` is the supported entry point for whole
     runs.
     """
-    if legacy:
-        warnings.warn(
-            "passing make_engine arguments beyond num_machines "
-            "positionally is deprecated; use keyword arguments or "
-            "build a repro.RunConfig and run it through repro.Session",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if len(legacy) > 2:
-            raise EngineError(
-                "make_engine takes at most (options, obs) positionally"
-            )
-        if options is None and len(legacy) >= 1:
-            options = legacy[0]
-        if obs is None and len(legacy) == 2:
-            obs = legacy[1]
     if kind not in _ENGINE_KINDS:
         raise EngineError(
             f"unknown engine kind {kind!r}; expected one of {_ENGINE_KINDS}"

@@ -122,6 +122,7 @@ class BaseEngine:
     kind = "abstract"
     cost_kind = "gemini"  # which CostModel pricing function applies
     supports_dependency = False
+    supports_async = False  # per-bucket activation (engine.async_mode)
     sync_scope = "in"  # which replica holders receive state broadcasts
 
     def __init__(

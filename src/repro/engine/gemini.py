@@ -29,6 +29,7 @@ class GeminiEngine(BaseEngine):
     kind = "gemini"
     cost_kind = "gemini"
     supports_dependency = False
+    supports_async = True
 
     def __init__(
         self,

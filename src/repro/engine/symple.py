@@ -130,6 +130,7 @@ class SympleGraphEngine(BaseEngine):
     kind = "symple"
     cost_kind = "symple"
     supports_dependency = True
+    supports_async = True
 
     def __init__(
         self,

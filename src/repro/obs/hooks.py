@@ -236,6 +236,26 @@ class ObsHub:
     def implicit_record(self, machines: int) -> None:
         self._emit("implicit_record", machines=machines)
 
+    # -- async bucket scheduler boundaries ---------------------------------
+
+    def bucket_begin(self, bucket: int, lo: float, hi: float,
+                     size: int) -> None:
+        """The async scheduler opened priority bucket ``[lo, hi)``."""
+        self.metrics.counter(
+            "repro_buckets_total", "priority buckets drained"
+        ).inc()
+        self._emit("bucket_begin", bucket=int(bucket), lo=float(lo),
+                   hi=float(hi), size=int(size))
+
+    def bucket_end(self, bucket: int, waves: int, activations: int) -> None:
+        """A priority bucket drained after ``waves`` activation waves."""
+        self.metrics.counter(
+            "repro_async_activations_total",
+            "vertex activations under the async scheduler",
+        ).inc(int(activations))
+        self._emit("bucket_end", bucket=int(bucket), waves=int(waves),
+                   activations=int(activations))
+
     # -- fault-tolerance boundaries ---------------------------------------
 
     def checkpoint(self, superstep: int, nbytes: int,

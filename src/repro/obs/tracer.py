@@ -76,6 +76,11 @@ EVENT_KINDS: Dict[str, tuple] = {
     "sync_update": ("record", "bytes"),
     # implicit iteration record created by sync_state on a fresh engine
     "implicit_record": ("machines",),
+    # async bucket scheduler: one priority bucket drained (bucket_begin
+    # opens the [lo, hi) priority range with `size` pending vertices;
+    # bucket_end reports the activation waves the drain took)
+    "bucket_begin": ("bucket", "lo", "hi", "size"),
+    "bucket_end": ("bucket", "waves", "activations"),
     # fault tolerance
     "checkpoint": ("superstep", "bytes", "record"),
     "restore": ("superstep", "bytes", "record"),

@@ -84,7 +84,8 @@ _CONFIG_FIELDS = frozenset(
     (
         "engine", "algorithm", "machines", "seed", "options", "faults",
         "checkpointing", "executor", "workers", "verify", "bfs_roots",
-        "kcore_k", "kmeans_rounds", "sources",
+        "kcore_k", "kmeans_rounds", "sources", "mode",
+        "async_bucket_width",
     )
 )
 

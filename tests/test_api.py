@@ -1,25 +1,20 @@
-"""The Session/RunConfig entry point and its deprecation story.
+"""The Session/RunConfig entry point and its post-redesign surface.
 
 Covers: RunConfig construction, validation, replace(), and
-to_dict/from_dict round-trips; Session caching, overrides, lifecycle,
-and parity with the legacy :func:`run_algorithm` wrapper; and the
-DeprecationWarnings the legacy surfaces (run_algorithm keyword pile,
-make_engine extended positionals) are required to raise.
+to_dict/from_dict round-trips (including the async-mode knobs);
+Session caching, overrides, lifecycle; and the hard removal of the
+legacy surfaces (``run_algorithm``, extended-positional
+``make_engine``) retired by the registry redesign.
 """
 
-import warnings
-
-import numpy as np
 import pytest
 
 from repro.api import Checkpointing, RunConfig, Session
-from repro.bench import run_algorithm
 from repro.engine import SympleOptions, make_engine
 from repro.errors import EngineError, UnsupportedAlgorithmError
 from repro.exec import SerialExecutor, ThreadPoolExecutor
 from repro.fault import FaultPlan
 from repro.graph import erdos_renyi, to_undirected
-from repro.obs import ObsHub
 from repro.partition import OutgoingEdgeCut
 
 
@@ -59,6 +54,12 @@ class TestRunConfig:
             {"engine": "gemini", "options": SympleOptions()},
             {"executor": "gpu"},
             {"workers": 0},
+            {"mode": "eventual"},
+            {"engine": "dgalois", "mode": "async"},
+            {"mode": "async", "algorithm": "kmeans"},
+            {"async_bucket_width": 2.0},  # only valid with mode="async"
+            {"mode": "async", "async_bucket_width": 0.0},
+            {"mode": "async", "async_bucket_width": -1.0},
         ],
     )
     def test_validation_rejects(self, kwargs):
@@ -103,6 +104,27 @@ class TestRunConfig:
         assert restored.options == config.options
         assert restored.checkpointing == config.checkpointing
         assert restored.faults.to_dict() == config.faults.to_dict()
+
+    def test_round_trip_async_mode(self):
+        config = RunConfig(
+            algorithm="sssp", mode="async", async_bucket_width=2.5
+        )
+        payload = config.to_dict()
+        assert payload["mode"] == "async"
+        assert payload["async_bucket_width"] == 2.5
+        restored = RunConfig.from_dict(payload)
+        assert restored.mode == "async"
+        assert restored.async_bucket_width == 2.5
+        assert restored.to_dict() == payload
+
+    def test_from_dict_accepts_pre_async_payloads(self):
+        # payloads saved before the mode knobs existed must still load
+        payload = RunConfig(algorithm="kcore", kcore_k=2).to_dict()
+        del payload["mode"]
+        del payload["async_bucket_width"]
+        restored = RunConfig.from_dict(payload)
+        assert restored.mode == "sync"
+        assert restored.async_bucket_width is None
 
     def test_to_dict_serializes_executor_instance_as_kind(self):
         ex = ThreadPoolExecutor(2)
@@ -155,82 +177,29 @@ class TestSession:
         assert not closes
         ex.close()
 
-    def test_parity_with_legacy_run_algorithm(self, graph):
-        with Session(graph) as session:
-            via_session = session.run(
-                RunConfig(
-                    engine="symple",
-                    algorithm="kcore",
-                    machines=4,
-                    seed=2,
-                    kcore_k=2,
-                    options=SympleOptions(degree_threshold=4),
-                )
-            )
-        with pytest.warns(DeprecationWarning):
-            via_legacy = run_algorithm(
-                "symple",
-                graph,
-                "kcore",
-                num_machines=4,
-                seed=2,
-                kcore_k=2,
-                options=SympleOptions(degree_threshold=4),
-            )
-        assert via_legacy.digest() == via_session.digest()
-
     def test_digest_distinguishes_configs(self, graph):
         with Session(graph, RunConfig(machines=4, bfs_roots=1)) as session:
             assert session.run().digest() == session.run().digest()
             assert session.run().digest() != session.run(seed=5).digest()
 
 
-class TestLegacyDeprecations:
-    def test_simple_positional_core_stays_silent(self, graph):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            run_algorithm("symple", graph, "bfs", 4, 1, bfs_roots=1)
+class TestLegacySurfaceRemoved:
+    """The PR-5-deprecated wrappers are gone, not just warning."""
 
-    @pytest.mark.parametrize(
-        "kwargs",
-        [
-            {"options": SympleOptions()},
-            {"cost_model": None, "checkpoint_interval": 2},
-            {"obs": ObsHub()},
-            {"retention": 3},
-        ],
-        ids=["options", "checkpointing", "obs", "retention"],
-    )
-    def test_legacy_keywords_warn(self, graph, kwargs):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            run_algorithm(
-                "symple", graph, "kcore", 4, 1, kcore_k=2, **kwargs
-            )
+    def test_run_algorithm_is_gone(self):
+        import repro
+        import repro.bench
 
-    def test_legacy_positional_pile_warns_and_maps(self, graph):
-        options = SympleOptions(degree_threshold=4)
-        with pytest.warns(DeprecationWarning, match="positional"):
-            # old order: options, cost_model, bfs_roots
-            legacy = run_algorithm(
-                "symple", graph, "bfs", 4, 1, options, None, 1
-            )
-        with pytest.warns(DeprecationWarning):
-            modern = run_algorithm(
-                "symple", graph, "bfs", 4, 1, bfs_roots=1,
-                options=options,
-            )
-        assert legacy.digest() == modern.digest()
+        assert not hasattr(repro.bench, "run_algorithm")
+        assert not hasattr(repro, "run_algorithm")
+        with pytest.raises(ImportError):
+            from repro.bench import run_algorithm  # noqa: F401
 
-    def test_unknown_algorithm_still_value_error(self, graph):
-        # the wrapper's historical contract (RunConfig raises EngineError)
-        with pytest.raises(ValueError):
-            run_algorithm("symple", graph, "nope")
-
-    def test_make_engine_positional_options_warn(self, graph):
+    def test_make_engine_rejects_extended_positionals(self, graph):
         partition = OutgoingEdgeCut().partition(graph, 4)
-        with pytest.warns(DeprecationWarning):
-            engine = make_engine("symple", partition, 4, SympleOptions())
-        assert engine.kind == "symple"
+        with pytest.raises(TypeError):
+            # old pile: options (and cost_model, obs) by position
+            make_engine("symple", partition, 4, SympleOptions())
 
     def test_make_engine_rejects_options_for_non_symple(self, graph):
         with pytest.raises(EngineError, match="SympleGraph knob"):

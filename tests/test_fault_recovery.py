@@ -266,20 +266,19 @@ def test_checkpoint_overhead_is_metered(small_graph):
 
 
 def test_harness_faulted_run(small_graph):
-    from repro.bench import run_algorithm
+    from repro.api import Checkpointing, RunConfig, Session
 
-    plain = run_algorithm(
-        "symple", small_graph, "kcore", num_machines=MACHINES, kcore_k=3
-    )
-    faulted = run_algorithm(
-        "symple",
-        small_graph,
-        "kcore",
-        num_machines=MACHINES,
-        kcore_k=3,
-        fault_plan=FaultPlan.single_crash(machine=1, iteration=2),
-        checkpoint_interval=1,
-    )
+    with Session(small_graph) as session:
+        plain = session.run(RunConfig(
+            engine="symple", algorithm="kcore", machines=MACHINES,
+            kcore_k=3,
+        ))
+        faulted = session.run(RunConfig(
+            engine="symple", algorithm="kcore", machines=MACHINES,
+            kcore_k=3,
+            faults=FaultPlan.single_crash(machine=1, iteration=2),
+            checkpointing=Checkpointing(interval=1),
+        ))
     assert faulted.extra["core_size"] == plain.extra["core_size"]
     assert faulted.extra["fault_crashes"] == 1
     assert faulted.total_bytes > plain.total_bytes
@@ -287,15 +286,14 @@ def test_harness_faulted_run(small_graph):
 
 @pytest.mark.parametrize("algorithm", ["kmeans", "sampling"])
 def test_harness_rejects_non_programs(small_graph, algorithm):
-    from repro.bench import run_algorithm
+    from repro.api import RunConfig
 
     with pytest.raises(UnsupportedAlgorithmError):
-        run_algorithm(
-            "symple",
-            small_graph,
-            algorithm,
-            num_machines=MACHINES,
-            fault_plan=FaultPlan.single_crash(machine=0, iteration=1),
+        RunConfig(
+            engine="symple",
+            algorithm=algorithm,
+            machines=MACHINES,
+            faults=FaultPlan.single_crash(machine=0, iteration=1),
         )
 
 

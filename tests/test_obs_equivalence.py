@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms import bfs
-from repro.bench import run_algorithm
+from repro.api import Checkpointing, RunConfig, Session
 from repro.engine import SympleOptions, make_engine
 from repro.fault import FaultPlan, StragglerFault
 from repro.graph import erdos_renyi, to_undirected
@@ -32,6 +32,15 @@ from repro.runtime import SYMPLE_COST
 from repro.runtime.trace import step_timeline
 
 MACHINES = 4
+
+
+def run_algo(engine, graph, algorithm, num_machines=16, **knobs):
+    """Session-based stand-in for the retired legacy wrapper."""
+    config = RunConfig(
+        engine=engine, algorithm=algorithm, machines=num_machines, **knobs
+    )
+    with Session(graph, config) as session:
+        return session.run()
 
 
 @pytest.fixture(scope="module")
@@ -99,13 +108,13 @@ class TestFaultVisibility:
         plan = FaultPlan(
             stragglers=(StragglerFault(machine=1, factor=8.0),)
         )
-        clean = run_algorithm(
+        clean = run_algo(
             "symple", graph, "bfs", num_machines=MACHINES, bfs_roots=1
         )
         hub = ObsHub(tracer=Tracer())
-        slowed = run_algorithm(
+        slowed = run_algo(
             "symple", graph, "bfs", num_machines=MACHINES, bfs_roots=1,
-            fault_plan=plan, obs=hub,
+            faults=plan, obs=hub,
         )
         assert slowed.simulated_time > clean.simulated_time
         # the straggler's slowdown factor is recorded on the trace...
@@ -127,9 +136,9 @@ class TestFaultVisibility:
     def test_checkpoint_and_recovery_survive_reconstruction(self, graph):
         plan = FaultPlan.single_crash(machine=2, iteration=3)
         hub = ObsHub(tracer=Tracer())
-        run_algorithm(
+        run_algo(
             "symple", graph, "bfs", num_machines=MACHINES, bfs_roots=1,
-            fault_plan=plan, checkpoint_interval=1, obs=hub,
+            faults=plan, checkpointing=Checkpointing(interval=1), obs=hub,
         )
         events = hub.tracer.events
         # aborted phases (injected crash) must still validate

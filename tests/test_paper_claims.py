@@ -9,9 +9,23 @@ import numpy as np
 import pytest
 
 from repro.algorithms import kcore_peel
-from repro.bench import dataset, geomean, run_algorithm, speedup
+from repro.api import RunConfig, Session
+from repro.bench import dataset, geomean, speedup
 from repro.engine import SympleOptions, make_engine
 from repro.runtime import SINGLE_THREAD_COST
+
+def run_algo(engine, graph, algorithm, num_machines=16, seed=0, **knobs):
+    """Session-based stand-in for the retired legacy wrapper."""
+    config = RunConfig(
+        engine=engine,
+        algorithm=algorithm,
+        machines=num_machines,
+        seed=seed,
+        **knobs,
+    )
+    with Session(graph, config) as session:
+        return session.run()
+
 
 
 @pytest.fixture(scope="module")
@@ -21,11 +35,11 @@ def results():
     out = {}
     for algo in ("bfs", "kcore", "mis", "sampling"):
         for engine in ("gemini", "symple"):
-            out[(engine, algo)] = run_algorithm(
+            out[(engine, algo)] = run_algo(
                 engine, g, algo, num_machines=16, bfs_roots=2,
                 kmeans_rounds=1, seed=1,
             )
-    out[("dgalois", "mis")] = run_algorithm(
+    out[("dgalois", "mis")] = run_algo(
         "dgalois", g, "mis", num_machines=16, seed=1
     )
     return out
@@ -76,8 +90,8 @@ class TestTable5Shape:
         ratios = {}
         for name in ("s27", "s29"):
             g = dataset(name)
-            gem = run_algorithm("gemini", g, "mis", num_machines=16, seed=2)
-            sym = run_algorithm("symple", g, "mis", num_machines=16, seed=2)
+            gem = run_algo("gemini", g, "mis", num_machines=16, seed=2)
+            sym = run_algo("symple", g, "mis", num_machines=16, seed=2)
             ratios[name] = sym.edges_traversed / gem.edges_traversed
         assert ratios["s27"] < ratios["s29"]
 
@@ -118,7 +132,7 @@ class TestScalabilityShape:
         """Figure 10: Gemini's best machine count is ~8."""
         g = dataset("s27")
         times = {
-            p: run_algorithm("gemini", g, "mis", num_machines=p, seed=1).simulated_time
+            p: run_algo("gemini", g, "mis", num_machines=p, seed=1).simulated_time
             for p in (2, 8, 16)
         }
         assert times[8] < times[2]
@@ -127,11 +141,11 @@ class TestScalabilityShape:
     def test_symple_degrades_less_than_gemini(self):
         g = dataset("s27")
         sym = {
-            p: run_algorithm("symple", g, "mis", num_machines=p, seed=1).simulated_time
+            p: run_algo("symple", g, "mis", num_machines=p, seed=1).simulated_time
             for p in (8, 16)
         }
         gem = {
-            p: run_algorithm("gemini", g, "mis", num_machines=p, seed=1).simulated_time
+            p: run_algo("gemini", g, "mis", num_machines=p, seed=1).simulated_time
             for p in (8, 16)
         }
         assert sym[16] / sym[8] < gem[16] / gem[8]
@@ -142,7 +156,7 @@ class TestKCorePeelComparison:
         """Section 7.2: the linear algorithm is significantly faster on
         tw/fr (long chains force many iterative rounds)."""
         g = dataset("tw")
-        iterative = run_algorithm(
+        iterative = run_algo(
             "symple", g, "kcore", num_machines=16, kcore_k=2
         )
         peel = kcore_peel(g, 2, SINGLE_THREAD_COST)
@@ -151,7 +165,7 @@ class TestKCorePeelComparison:
     def test_peel_loses_on_big_rmat(self):
         """...but slower than SympleGraph on the synthesized graphs."""
         g = dataset("s27")
-        iterative = run_algorithm(
+        iterative = run_algo(
             "symple", g, "kcore", num_machines=16, kcore_k=8
         )
         peel = kcore_peel(g, 8, SINGLE_THREAD_COST)
@@ -161,11 +175,11 @@ class TestKCorePeelComparison:
 class TestFig11Shape:
     def test_double_buffering_helps(self):
         g = dataset("s27")
-        base = run_algorithm(
+        base = run_algo(
             "symple", g, "mis", num_machines=16,
             options=SympleOptions(double_buffering=False, differentiated=False),
         )
-        with_db = run_algorithm(
+        with_db = run_algo(
             "symple", g, "mis", num_machines=16,
             options=SympleOptions(double_buffering=True, differentiated=False),
         )
@@ -173,8 +187,8 @@ class TestFig11Shape:
 
     def test_naive_schedule_much_slower(self):
         g = dataset("s27")
-        circulant = run_algorithm("symple", g, "mis", num_machines=8)
-        naive = run_algorithm(
+        circulant = run_algo("symple", g, "mis", num_machines=8)
+        naive = run_algo(
             "symple", g, "mis", num_machines=8,
             options=SympleOptions(schedule="naive"),
         )
@@ -185,10 +199,10 @@ class TestCOSTMetric:
     def test_cost_is_small(self):
         """Section 7.4: COST of SympleGraph ~3-4 machines."""
         g = dataset("s27")
-        single = run_algorithm("single", g, "mis", num_machines=1, seed=1)
+        single = run_algo("single", g, "mis", num_machines=1, seed=1)
         crossover = None
         for p in (1, 2, 4, 8):
-            sym = run_algorithm("symple", g, "mis", num_machines=p, seed=1)
+            sym = run_algo("symple", g, "mis", num_machines=p, seed=1)
             if sym.simulated_time < single.simulated_time:
                 crossover = p
                 break
